@@ -1,0 +1,305 @@
+package perigee
+
+// The benchmark harness regenerates every figure of the paper's evaluation
+// (DESIGN.md §3 maps figures to bench targets). Figure benches print the
+// reproduced series via b.Log on their first iteration — run with
+//
+//	go test -bench=. -benchmem -benchtime=1x
+//
+// for a full reproduction pass, or -bench=Micro for the hot-path
+// micro-benchmarks only.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/perigee-net/perigee/internal/core"
+	"github.com/perigee-net/perigee/internal/experiments"
+	"github.com/perigee-net/perigee/internal/geo"
+	"github.com/perigee-net/perigee/internal/latency"
+	"github.com/perigee-net/perigee/internal/netsim"
+	"github.com/perigee-net/perigee/internal/rng"
+	"github.com/perigee-net/perigee/internal/stats"
+	"github.com/perigee-net/perigee/internal/topology"
+)
+
+// benchFigureOptions is the figure-bench scale: large enough that every
+// qualitative result of the paper holds, small enough for a laptop pass.
+func benchFigureOptions() experiments.Options {
+	opt := experiments.ShortOptions()
+	opt.Rounds = 10
+	return opt
+}
+
+// benchAblationOptions keeps ablation sweeps (many engine runs per
+// iteration) affordable.
+func benchAblationOptions() experiments.Options {
+	opt := experiments.ShortOptions()
+	opt.Nodes = 150
+	opt.Rounds = 6
+	opt.RoundBlocks = 30
+	return opt
+}
+
+var benchRendered sync.Map
+
+func benchExperiment(b *testing.B, id string, opt experiments.Options) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, done := benchRendered.LoadOrStore(id, true); !done {
+			b.Logf("\n%s", res.Render())
+		}
+	}
+}
+
+// BenchmarkFigure1Stretch regenerates Figure 1: path stretch of random vs
+// geometric graphs on embedded points.
+func BenchmarkFigure1Stretch(b *testing.B) { benchExperiment(b, "figure1", benchFigureOptions()) }
+
+// BenchmarkFigure3a regenerates Figure 3(a): all seven algorithms under
+// uniform hash power.
+func BenchmarkFigure3a(b *testing.B) { benchExperiment(b, "figure3a", benchFigureOptions()) }
+
+// BenchmarkFigure3b regenerates Figure 3(b): exponential hash power.
+func BenchmarkFigure3b(b *testing.B) { benchExperiment(b, "figure3b", benchFigureOptions()) }
+
+// BenchmarkFigure4a regenerates Figure 4(a): the validation-delay sweep.
+func BenchmarkFigure4a(b *testing.B) { benchExperiment(b, "figure4a", benchFigureOptions()) }
+
+// BenchmarkFigure4b regenerates Figure 4(b): mining pools with fast links.
+func BenchmarkFigure4b(b *testing.B) { benchExperiment(b, "figure4b", benchFigureOptions()) }
+
+// BenchmarkFigure4c regenerates Figure 4(c): the embedded relay tree.
+func BenchmarkFigure4c(b *testing.B) { benchExperiment(b, "figure4c", benchFigureOptions()) }
+
+// BenchmarkFigure5Histogram regenerates Figure 5: edge-latency histograms
+// of the converged topologies.
+func BenchmarkFigure5Histogram(b *testing.B) { benchExperiment(b, "figure5", benchFigureOptions()) }
+
+// BenchmarkTheorem1 validates Theorem 1 empirically: random-graph stretch
+// grows with n.
+func BenchmarkTheorem1(b *testing.B) { benchExperiment(b, "theorem1", benchFigureOptions()) }
+
+// BenchmarkTheorem2 validates Theorem 2 empirically: geometric-graph
+// stretch is constant in n.
+func BenchmarkTheorem2(b *testing.B) { benchExperiment(b, "theorem2", benchFigureOptions()) }
+
+// BenchmarkAblationExploration sweeps the exploration budget e_v.
+func BenchmarkAblationExploration(b *testing.B) {
+	benchExperiment(b, "ablation-exploration", benchAblationOptions())
+}
+
+// BenchmarkAblationPercentile sweeps the scoring percentile.
+func BenchmarkAblationPercentile(b *testing.B) {
+	benchExperiment(b, "ablation-percentile", benchAblationOptions())
+}
+
+// BenchmarkAblationRoundLength sweeps |B| at a fixed block budget.
+func BenchmarkAblationRoundLength(b *testing.B) {
+	benchExperiment(b, "ablation-roundlength", benchAblationOptions())
+}
+
+// BenchmarkAblationUCBConstant sweeps the UCB confidence constant.
+func BenchmarkAblationUCBConstant(b *testing.B) {
+	benchExperiment(b, "ablation-ucb-constant", benchAblationOptions())
+}
+
+// BenchmarkAblationValidationModel compares homogeneous vs heterogeneous
+// validation delays.
+func BenchmarkAblationValidationModel(b *testing.B) {
+	benchExperiment(b, "ablation-validation-model", benchAblationOptions())
+}
+
+// BenchmarkExtensionFreeride measures the incentive experiment: silent
+// free-riders are punished with later block reception.
+func BenchmarkExtensionFreeride(b *testing.B) {
+	benchExperiment(b, "freeride", benchAblationOptions())
+}
+
+// BenchmarkExtensionChurn measures Perigee under 5%-per-round membership
+// churn.
+func BenchmarkExtensionChurn(b *testing.B) {
+	benchExperiment(b, "churn", benchAblationOptions())
+}
+
+// BenchmarkExtensionBandwidth measures the upload-serialization scenario.
+func BenchmarkExtensionBandwidth(b *testing.B) {
+	benchExperiment(b, "bandwidth", benchAblationOptions())
+}
+
+// BenchmarkExtensionEclipse measures neighborhood capture by fast
+// adversaries.
+func BenchmarkExtensionEclipse(b *testing.B) {
+	benchExperiment(b, "eclipse", benchAblationOptions())
+}
+
+// BenchmarkExtensionConvergence measures the §5.2 convergence
+// trajectories (90% coverage converges; 50% is not monotone).
+func BenchmarkExtensionConvergence(b *testing.B) {
+	benchExperiment(b, "convergence", benchAblationOptions())
+}
+
+// --- Micro-benchmarks of the hot paths -----------------------------------
+
+// benchNetwork builds a 1000-node random-topology simulator.
+func benchNetwork(b *testing.B) (*netsim.Simulator, []float64) {
+	b.Helper()
+	root := rng.New(1)
+	u, err := geo.SampleUniverse(1000, root.Derive("universe"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	lat, err := latency.NewGeographic(u, root.Derive("latency"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl, err := topology.Random(1000, 8, 20, root.Derive("topology"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	forward := make([]time.Duration, 1000)
+	for i := range forward {
+		forward[i] = 50 * time.Millisecond
+	}
+	sim, err := netsim.New(netsim.Config{Adj: tbl.Undirected(), Latency: lat, Forward: forward})
+	if err != nil {
+		b.Fatal(err)
+	}
+	power := make([]float64, 1000)
+	for i := range power {
+		power[i] = 1.0 / 1000
+	}
+	return sim, power
+}
+
+// BenchmarkMicroBroadcast1000 measures one event-driven block broadcast
+// over a 1000-node network (the inner loop of every experiment).
+func BenchmarkMicroBroadcast1000(b *testing.B) {
+	sim, _ := benchNetwork(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Broadcast(i % 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroAnalyticArrival1000 measures the Dijkstra-based arrival
+// computation used by the λ_v metric.
+func BenchmarkMicroAnalyticArrival1000(b *testing.B) {
+	sim, _ := benchNetwork(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.ArrivalAnalytic(i % 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroDelayToFraction measures the weighted coverage metric.
+func BenchmarkMicroDelayToFraction(b *testing.B) {
+	sim, power := benchNetwork(b)
+	arrival, err := sim.ArrivalAnalytic(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := netsim.DelayToFraction(arrival, power, 0.9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchObservations builds a 100-block, 8-neighbor observation matrix.
+func benchObservations() core.Observations {
+	obs := core.NewObservations([]int{0, 1, 2, 3, 4, 5, 6, 7}, 100)
+	r := rng.New(2)
+	for bi := range obs.Offsets {
+		for ni := range obs.Offsets[bi] {
+			obs.Offsets[bi][ni] = time.Duration(r.IntN(200)) * time.Millisecond
+		}
+	}
+	return obs
+}
+
+// BenchmarkMicroVanillaScoring measures independent percentile scoring of
+// one node's round (100 blocks, 8 neighbors).
+func BenchmarkMicroVanillaScoring(b *testing.B) {
+	obs := benchObservations()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.VanillaScores(obs, 0.9)
+	}
+}
+
+// BenchmarkMicroSubsetScoring measures the greedy joint selection (§4.3).
+func BenchmarkMicroSubsetScoring(b *testing.B) {
+	obs := benchObservations()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.SubsetSelect(obs, 6, 0.9)
+	}
+}
+
+// BenchmarkMicroEngineRound measures one full protocol round (broadcasts +
+// scoring + reconnection) on a 300-node network.
+func BenchmarkMicroEngineRound(b *testing.B) {
+	root := rng.New(3)
+	u, err := geo.SampleUniverse(300, root.Derive("universe"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	lat, err := latency.NewGeographic(u, root.Derive("latency"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl, err := topology.Random(300, 8, 20, root.Derive("topology"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	forward := make([]time.Duration, 300)
+	for i := range forward {
+		forward[i] = 50 * time.Millisecond
+	}
+	power := make([]float64, 300)
+	for i := range power {
+		power[i] = 1.0 / 300
+	}
+	params := core.DefaultParams(core.Subset)
+	params.RoundBlocks = 50
+	engine, err := core.NewEngine(core.Config{
+		Method: core.Subset, Params: params, Table: tbl,
+		Latency: lat, Forward: forward, Power: power,
+		Rand: root.Derive("engine"),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroDurationPercentile measures the censored percentile
+// primitive underlying all scoring.
+func BenchmarkMicroDurationPercentile(b *testing.B) {
+	r := rng.New(4)
+	ds := make([]time.Duration, 100)
+	for i := range ds {
+		ds[i] = time.Duration(r.IntN(1000)) * time.Millisecond
+	}
+	ds[7] = stats.InfDuration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.DurationPercentile(ds, 0.9)
+	}
+}

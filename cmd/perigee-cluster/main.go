@@ -1,0 +1,168 @@
+// Command perigee-cluster runs a whole Perigee network of live TCP nodes
+// on one machine: per-link latencies from the geographic model are
+// injected into every node's sends, a miner schedule drives block
+// production, and all nodes run live Perigee rounds. It reports block
+// propagation times before and after the topology adapts.
+//
+//	perigee-cluster -nodes 20 -rounds 3 -blocks 15
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/perigee-net/perigee/internal/chain"
+	"github.com/perigee-net/perigee/internal/geo"
+	"github.com/perigee-net/perigee/internal/latency"
+	"github.com/perigee-net/perigee/internal/p2p"
+	"github.com/perigee-net/perigee/internal/rng"
+)
+
+func main() {
+	var (
+		nodeCount = flag.Int("nodes", 16, "cluster size")
+		outDegree = flag.Int("out-degree", 4, "outbound connections per node")
+		rounds    = flag.Int("rounds", 3, "live Perigee rounds")
+		blocks    = flag.Int("blocks", 12, "blocks mined per round")
+		seed      = flag.Uint64("seed", 11, "randomness seed")
+		verbose   = flag.Bool("v", false, "per-node logging")
+	)
+	flag.Parse()
+	if *nodeCount < 4 || *outDegree >= *nodeCount {
+		fmt.Fprintln(os.Stderr, "need at least 4 nodes and out-degree below the cluster size")
+		os.Exit(2)
+	}
+
+	root := rng.New(*seed)
+	universe, err := geo.SampleUniverse(*nodeCount, root.Derive("universe"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Scale latencies down 5x so wall-clock runs stay snappy; relative
+	// structure (regions, slow access nodes) is preserved.
+	model, err := latency.NewGeographic(universe, root.Derive("latency"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	const timeScale = 5
+
+	genesis := chain.NewGenesis("perigee-cluster")
+	logger := log.New(os.Stderr, "", log.Ltime|log.Lmicroseconds)
+
+	// Build nodes; node IDs are 1..n so the latency injector can map a
+	// remote ID back to its universe index.
+	nodes := make([]*p2p.Node, *nodeCount)
+	idToIndex := make(map[uint64]int, *nodeCount)
+	for i := range nodes {
+		i := i
+		cfg := p2p.Config{
+			NodeID:     uint64(i + 1),
+			Seed:       *seed + uint64(i),
+			ListenAddr: "127.0.0.1:0",
+			OutDegree:  *outDegree,
+			Explore:    1,
+			Genesis:    genesis,
+			PeerDelay: func(remote uint64) time.Duration {
+				j, ok := idToIndex[remote]
+				if !ok {
+					return 0
+				}
+				// One-way delay, halved again because both ends inject.
+				return model.Delay(i, j) / (2 * timeScale)
+			},
+		}
+		if *verbose {
+			cfg.Logf = logger.Printf
+		}
+		n, err := p2p.NewNode(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nodes[i] = n
+		idToIndex[n.ID()] = i
+	}
+	for _, n := range nodes {
+		if err := n.Start(); err != nil {
+			log.Fatal(err)
+		}
+		defer n.Stop()
+	}
+	// Everyone knows everyone's address (§2.1 assumption).
+	for _, n := range nodes {
+		for _, m := range nodes {
+			if n != m {
+				n.Book().Add(m.Addr())
+			}
+		}
+	}
+	// Random initial topology.
+	topoRand := root.Derive("initial-topology")
+	for i, n := range nodes {
+		for _, j := range topoRand.Perm(*nodeCount) {
+			if n.OutboundCount() >= *outDegree {
+				break
+			}
+			if j == i {
+				continue
+			}
+			if err := n.Connect(nodes[j].Addr()); err != nil && *verbose {
+				logger.Printf("initial dial: %v", err)
+			}
+		}
+	}
+	fmt.Printf("cluster up: %d live nodes, out-degree %d, latencies injected from the geographic model\n",
+		*nodeCount, *outDegree)
+
+	minerRand := root.Derive("miners")
+	runRound := func(round int) time.Duration {
+		var spreads []time.Duration
+		for b := 0; b < *blocks; b++ {
+			miner := nodes[minerRand.IntN(len(nodes))]
+			blk, err := miner.MineBlock([][]byte{fmt.Appendf(nil, "r%d-b%d", round, b)})
+			if err != nil {
+				log.Fatal(err)
+			}
+			h := blk.Header.Hash()
+			start := time.Now()
+			// Wait for 90% of nodes to hold the block.
+			need := (*nodeCount*9 + 9) / 10
+			for {
+				have := 0
+				for _, n := range nodes {
+					if n.Store().Has(h) {
+						have++
+					}
+				}
+				if have >= need {
+					break
+				}
+				if time.Since(start) > 30*time.Second {
+					log.Fatalf("block %s stalled: %d/%d nodes", h, have, need)
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			spreads = append(spreads, time.Since(start))
+		}
+		sort.Slice(spreads, func(i, j int) bool { return spreads[i] < spreads[j] })
+		return spreads[len(spreads)/2]
+	}
+
+	fmt.Printf("round 0 (random topology): measuring %d blocks...\n", *blocks)
+	base := runRound(0)
+	fmt.Printf("  median time to reach 90%% of nodes: %v\n", base.Round(time.Millisecond))
+
+	for r := 1; r <= *rounds; r++ {
+		for _, n := range nodes {
+			if _, err := n.PerigeeRound(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		med := runRound(r)
+		fmt.Printf("after perigee round %d: median %v (%+.0f%% vs random)\n",
+			r, med.Round(time.Millisecond), 100*(float64(med)/float64(base)-1))
+	}
+}

@@ -1,0 +1,106 @@
+// Command perigee-node runs one live Perigee node: it listens for peers,
+// relays blocks, optionally mines on a Poisson schedule, and periodically
+// re-selects its outbound neighbors from measured block arrival times.
+//
+//	perigee-node -listen 127.0.0.1:9735 -network mainnet
+//	perigee-node -listen 127.0.0.1:9736 -connect 127.0.0.1:9735 -mine 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/perigee-net/perigee/internal/chain"
+	"github.com/perigee-net/perigee/internal/p2p"
+	"github.com/perigee-net/perigee/internal/rng"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", "127.0.0.1:0", "accepting address (empty = client only)")
+		connect     = flag.String("connect", "", "comma-separated seed addresses to dial")
+		network     = flag.String("network", "perigee-devnet", "network tag anchoring the genesis block")
+		mine        = flag.Duration("mine", 0, "mean mining interval (0 = do not mine)")
+		roundBlocks = flag.Int("round-blocks", 20, "blocks observed per Perigee round")
+		outDegree   = flag.Int("out-degree", 8, "outbound connection target")
+		explore     = flag.Int("explore", 2, "exploration slots per round")
+		seed        = flag.Uint64("seed", uint64(time.Now().UnixNano()), "randomness seed")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "", log.Ltime|log.Lmicroseconds)
+	node, err := p2p.NewNode(p2p.Config{
+		Seed:       *seed,
+		ListenAddr: *listen,
+		OutDegree:  *outDegree,
+		Explore:    *explore,
+		Genesis:    chain.NewGenesis(*network),
+		Logf:       logger.Printf,
+	})
+	if err != nil {
+		logger.Fatalf("building node: %v", err)
+	}
+	if err := node.Start(); err != nil {
+		logger.Fatalf("starting node: %v", err)
+	}
+	defer node.Stop()
+	fmt.Printf("node %016x listening on %s (network %q)\n", node.ID(), node.Addr(), *network)
+
+	for _, addr := range strings.Split(*connect, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		if err := node.Connect(addr); err != nil {
+			logger.Printf("dialing seed %s: %v", addr, err)
+		}
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	miningRand := rng.New(*seed).Derive("mining")
+	var mineTimer *time.Timer
+	var mineC <-chan time.Time
+	if *mine > 0 {
+		mineTimer = time.NewTimer(chain.NextMiningInterval(miningRand, *mine))
+		mineC = mineTimer.C
+		defer mineTimer.Stop()
+	}
+	status := time.NewTicker(10 * time.Second)
+	defer status.Stop()
+
+	for {
+		select {
+		case <-stop:
+			fmt.Println("\nshutting down")
+			return
+		case <-mineC:
+			blk, err := node.MineBlock([][]byte{fmt.Appendf(nil, "coinbase-%016x-%d", node.ID(), time.Now().UnixNano())})
+			if err != nil {
+				logger.Printf("mining: %v", err)
+			} else {
+				logger.Printf("mined block %s at height %d", blk.Header.Hash(), blk.Header.Height)
+			}
+			mineTimer.Reset(chain.NextMiningInterval(miningRand, *mine))
+		case <-status.C:
+			if node.ObservationWindow() >= *roundBlocks {
+				rep, err := node.PerigeeRound()
+				if err != nil {
+					logger.Printf("perigee round: %v", err)
+					continue
+				}
+				logger.Printf("perigee round: scored %d blocks, dropped %d peers, dialed %d",
+					rep.BlocksScored, len(rep.Dropped), len(rep.Dialed))
+			}
+			logger.Printf("height=%d peers=%d window=%d addrs=%d",
+				node.Store().Height(), len(node.Peers()), node.ObservationWindow(), node.Book().Len())
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Command perigee-sim reproduces the paper's figures from the command
+// line.
+//
+//	perigee-sim -list
+//	perigee-sim -experiment figure3a -quick
+//	perigee-sim -experiment figure3a -nodes 1000 -trials 3 -rounds 30
+//	perigee-sim -all -quick -out results.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/perigee-net/perigee/internal/experiments"
+)
+
+func main() {
+	var (
+		list       = flag.Bool("list", false, "list available experiments and exit")
+		experiment = flag.String("experiment", "", "experiment ID to run (see -list)")
+		all        = flag.Bool("all", false, "run every experiment")
+		quick      = flag.Bool("quick", false, "use the scaled-down (300-node) configuration")
+		nodes      = flag.Int("nodes", 0, "override network size")
+		trials     = flag.Int("trials", 0, "override trial count")
+		rounds     = flag.Int("rounds", 0, "override Perigee round count")
+		seed       = flag.Uint64("seed", 0, "override root seed")
+		out        = flag.String("out", "", "also append rendered results to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			brief, _ := experiments.Describe(id)
+			fmt.Printf("  %-26s %s\n", id, brief)
+		}
+		return
+	}
+
+	opt := experiments.DefaultOptions()
+	if *quick {
+		opt = experiments.ShortOptions()
+	}
+	if *nodes > 0 {
+		opt.Nodes = *nodes
+	}
+	if *trials > 0 {
+		opt.Trials = *trials
+	}
+	if *rounds > 0 {
+		opt.Rounds = *rounds
+	}
+	if *seed != 0 {
+		opt.Seed = *seed
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		ids = experiments.IDs()
+	case *experiment != "":
+		ids = strings.Split(*experiment, ",")
+	default:
+		fmt.Fprintln(os.Stderr, "need -experiment <id>, -all, or -list")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var sink *os.File
+	if *out != "" {
+		f, err := os.OpenFile(*out, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "opening %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sink = f
+	}
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		res, err := experiments.Run(id, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		rendered := res.Render()
+		fmt.Printf("%s(completed in %v)\n\n", rendered, time.Since(start).Round(time.Second))
+		if sink != nil {
+			fmt.Fprintf(sink, "```\n%s```\n\n", rendered)
+		}
+	}
+}

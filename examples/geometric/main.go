@@ -1,0 +1,45 @@
+// Geometric graph demo (paper Figure 1, Theorems 1 and 2): on nodes
+// embedded in a metric space, a random topology produces meandering paths
+// whose latency is a growing factor above the point-to-point optimum,
+// while a geometric threshold graph stays within a constant factor.
+//
+//	go run ./examples/geometric
+package main
+
+import (
+	"fmt"
+	"log"
+
+	perigee "github.com/perigee-net/perigee"
+)
+
+func main() {
+	opt := perigee.QuickExperimentOptions()
+	opt.Nodes = 600
+	opt.Trials = 2
+
+	fmt.Println("Figure 1: stretch on the unit square (random vs geometric)")
+	res, err := perigee.RunExperiment("figure1", opt)
+	if err != nil {
+		log.Fatalf("figure1: %v", err)
+	}
+	fmt.Println(res.Render())
+
+	fmt.Println("Theorem 1: random-graph stretch grows with network size")
+	t1, err := perigee.RunExperiment("theorem1", opt)
+	if err != nil {
+		log.Fatalf("theorem1: %v", err)
+	}
+	for _, note := range t1.Notes {
+		fmt.Println("  " + note)
+	}
+
+	fmt.Println("\nTheorem 2: geometric-graph stretch stays constant")
+	t2, err := perigee.RunExperiment("theorem2", opt)
+	if err != nil {
+		log.Fatalf("theorem2: %v", err)
+	}
+	for _, note := range t2.Notes {
+		fmt.Println("  " + note)
+	}
+}

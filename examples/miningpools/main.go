@@ -1,0 +1,57 @@
+// Mining pools scenario (paper §5.4, Figure 4b): 10% of the nodes hold 90%
+// of the hash power. A good topology keeps every node close to the miners,
+// not close to the average node — Perigee optimizes exactly that, because
+// it scores neighbors on block arrivals and blocks come from miners.
+//
+//	go run ./examples/miningpools
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	perigee "github.com/perigee-net/perigee"
+)
+
+func main() {
+	cfg := perigee.DefaultConfig(300)
+	cfg.Seed = 7
+	cfg.HashPower = perigee.PowerPools
+	cfg.RoundBlocks = 50
+
+	net, err := perigee.New(cfg)
+	if err != nil {
+		log.Fatalf("building network: %v", err)
+	}
+
+	before, err := net.BroadcastDelays(0.9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("mining-pool network: 10% of nodes hold 90% of hash power")
+	fmt.Printf("  random topology: median delay to 90%% of power = %v\n", median(before))
+
+	if err := net.Run(12); err != nil {
+		log.Fatal(err)
+	}
+
+	after, err := net.BroadcastDelays(0.9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  after 12 Perigee rounds: median = %v (%.0f%% better)\n",
+		median(after), 100*(1-float64(median(after))/float64(median(before))))
+
+	fmt.Println("\nwhy it works: Perigee nodes rate neighbors by block arrival")
+	fmt.Println("times; neighbors on fast paths to the mining pools deliver")
+	fmt.Println("blocks early and are retained, so the learned topology clusters")
+	fmt.Println("around the sources of hash power without knowing who they are.")
+}
+
+func median(ds []time.Duration) time.Duration {
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[len(sorted)/2].Round(time.Millisecond)
+}

@@ -1,0 +1,238 @@
+// Package chain is a minimal but real blockchain substrate: SHA-256 linked
+// block headers with Merkle transaction roots, canonical binary encoding,
+// a thread-safe store with longest-chain fork choice, and a Poisson mining
+// schedule. The live p2p node (internal/p2p) gossips these blocks; the
+// abstract simulator does not need them.
+package chain
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/perigee-net/perigee/internal/rng"
+)
+
+// Hash is a SHA-256 digest.
+type Hash [32]byte
+
+// String renders the first bytes of the hash for logs.
+func (h Hash) String() string { return fmt.Sprintf("%x", h[:8]) }
+
+// Header is a block header. Headers chain by PrevHash and commit to the
+// block body through TxRoot.
+type Header struct {
+	// Version is the header format version (currently 1).
+	Version uint32
+	// Height is the block's distance from genesis.
+	Height uint64
+	// PrevHash is the parent block's header hash.
+	PrevHash Hash
+	// TxRoot is the Merkle root of the transaction list.
+	TxRoot Hash
+	// TimeUnixMilli is the miner's wall-clock timestamp.
+	TimeUnixMilli int64
+	// Nonce disambiguates blocks mined by the same node at the same time.
+	Nonce uint64
+}
+
+const headerSize = 4 + 8 + 32 + 32 + 8 + 8
+
+// marshal appends the canonical little-endian encoding of the header.
+func (h *Header) marshal(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, h.Version)
+	buf = binary.LittleEndian.AppendUint64(buf, h.Height)
+	buf = append(buf, h.PrevHash[:]...)
+	buf = append(buf, h.TxRoot[:]...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(h.TimeUnixMilli))
+	buf = binary.LittleEndian.AppendUint64(buf, h.Nonce)
+	return buf
+}
+
+func (h *Header) unmarshal(buf []byte) error {
+	if len(buf) < headerSize {
+		return fmt.Errorf("chain: header needs %d bytes, have %d", headerSize, len(buf))
+	}
+	h.Version = binary.LittleEndian.Uint32(buf[0:4])
+	h.Height = binary.LittleEndian.Uint64(buf[4:12])
+	copy(h.PrevHash[:], buf[12:44])
+	copy(h.TxRoot[:], buf[44:76])
+	h.TimeUnixMilli = int64(binary.LittleEndian.Uint64(buf[76:84]))
+	h.Nonce = binary.LittleEndian.Uint64(buf[84:92])
+	return nil
+}
+
+// Hash returns the header's SHA-256 digest, which identifies the block.
+func (h *Header) Hash() Hash {
+	return sha256.Sum256(h.marshal(make([]byte, 0, headerSize)))
+}
+
+// Block is a header plus its transaction payloads.
+type Block struct {
+	Header Header
+	Txs    [][]byte
+}
+
+// Limits protecting decoders from hostile payloads.
+const (
+	// MaxTxs bounds transactions per block.
+	MaxTxs = 1 << 16
+	// MaxTxSize bounds a single transaction's bytes.
+	MaxTxSize = 1 << 20
+	// MaxBlockSize bounds a whole encoded block.
+	MaxBlockSize = 4 << 20
+)
+
+// MerkleRoot computes the Merkle root of the transaction list: leaves are
+// SHA-256 of each transaction; odd nodes are paired with themselves; the
+// root of an empty list is the zero hash.
+func MerkleRoot(txs [][]byte) Hash {
+	if len(txs) == 0 {
+		return Hash{}
+	}
+	level := make([]Hash, len(txs))
+	for i, tx := range txs {
+		level[i] = sha256.Sum256(tx)
+	}
+	for len(level) > 1 {
+		next := make([]Hash, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			j := i + 1
+			if j == len(level) {
+				j = i
+			}
+			var buf [64]byte
+			copy(buf[:32], level[i][:])
+			copy(buf[32:], level[j][:])
+			next = append(next, sha256.Sum256(buf[:]))
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// Encode returns the canonical binary encoding of the block.
+func (b *Block) Encode() ([]byte, error) {
+	if len(b.Txs) > MaxTxs {
+		return nil, fmt.Errorf("chain: %d transactions exceed limit %d", len(b.Txs), MaxTxs)
+	}
+	size := headerSize + 4
+	for _, tx := range b.Txs {
+		if len(tx) > MaxTxSize {
+			return nil, fmt.Errorf("chain: transaction of %d bytes exceeds limit %d", len(tx), MaxTxSize)
+		}
+		size += 4 + len(tx)
+	}
+	if size > MaxBlockSize {
+		return nil, fmt.Errorf("chain: block of %d bytes exceeds limit %d", size, MaxBlockSize)
+	}
+	buf := make([]byte, 0, size)
+	buf = b.Header.marshal(buf)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b.Txs)))
+	for _, tx := range b.Txs {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(tx)))
+		buf = append(buf, tx...)
+	}
+	return buf, nil
+}
+
+// DecodeBlock parses a canonical block encoding.
+func DecodeBlock(buf []byte) (*Block, error) {
+	if len(buf) > MaxBlockSize {
+		return nil, fmt.Errorf("chain: encoded block of %d bytes exceeds limit %d", len(buf), MaxBlockSize)
+	}
+	var b Block
+	if err := b.Header.unmarshal(buf); err != nil {
+		return nil, err
+	}
+	rest := buf[headerSize:]
+	if len(rest) < 4 {
+		return nil, errors.New("chain: truncated transaction count")
+	}
+	count := binary.LittleEndian.Uint32(rest[:4])
+	if count > MaxTxs {
+		return nil, fmt.Errorf("chain: transaction count %d exceeds limit %d", count, MaxTxs)
+	}
+	rest = rest[4:]
+	b.Txs = make([][]byte, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(rest) < 4 {
+			return nil, errors.New("chain: truncated transaction length")
+		}
+		txLen := binary.LittleEndian.Uint32(rest[:4])
+		rest = rest[4:]
+		if txLen > MaxTxSize {
+			return nil, fmt.Errorf("chain: transaction of %d bytes exceeds limit %d", txLen, MaxTxSize)
+		}
+		if uint32(len(rest)) < txLen {
+			return nil, errors.New("chain: truncated transaction body")
+		}
+		b.Txs = append(b.Txs, append([]byte(nil), rest[:txLen]...))
+		rest = rest[txLen:]
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("chain: %d trailing bytes after block", len(rest))
+	}
+	return &b, nil
+}
+
+// CheckBlock verifies a block's internal consistency: version, Merkle
+// commitment, and size limits.
+func CheckBlock(b *Block) error {
+	if b == nil {
+		return errors.New("chain: nil block")
+	}
+	if b.Header.Version != 1 {
+		return fmt.Errorf("chain: unsupported block version %d", b.Header.Version)
+	}
+	if got, want := MerkleRoot(b.Txs), b.Header.TxRoot; got != want {
+		return fmt.Errorf("chain: merkle root mismatch: body %s, header %s", got, want)
+	}
+	if len(b.Txs) > MaxTxs {
+		return fmt.Errorf("chain: %d transactions exceed limit %d", len(b.Txs), MaxTxs)
+	}
+	return nil
+}
+
+// NewGenesis builds the deterministic genesis block for a network tag.
+func NewGenesis(tag string) *Block {
+	txs := [][]byte{[]byte("genesis:" + tag)}
+	return &Block{
+		Header: Header{
+			Version: 1,
+			Height:  0,
+			TxRoot:  MerkleRoot(txs),
+		},
+		Txs: txs,
+	}
+}
+
+// NewBlock assembles a child of prev carrying the given transactions.
+func NewBlock(prev *Block, txs [][]byte, now time.Time, nonce uint64) *Block {
+	cp := make([][]byte, len(txs))
+	for i, tx := range txs {
+		cp[i] = append([]byte(nil), tx...)
+	}
+	return &Block{
+		Header: Header{
+			Version:       1,
+			Height:        prev.Header.Height + 1,
+			PrevHash:      prev.Header.Hash(),
+			TxRoot:        MerkleRoot(cp),
+			TimeUnixMilli: now.UnixMilli(),
+			Nonce:         nonce,
+		},
+		Txs: cp,
+	}
+}
+
+// NextMiningInterval draws an exponential interarrival time with the given
+// mean, the memoryless block production process of §2.1.
+func NextMiningInterval(r *rng.RNG, mean time.Duration) time.Duration {
+	if mean <= 0 {
+		return 0
+	}
+	return time.Duration(r.ExpFloat64() * float64(mean))
+}

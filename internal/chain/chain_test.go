@@ -1,0 +1,328 @@
+package chain
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/perigee-net/perigee/internal/rng"
+)
+
+func TestHeaderHashDeterministic(t *testing.T) {
+	h := Header{Version: 1, Height: 5, Nonce: 42, TimeUnixMilli: 1000}
+	if h.Hash() != h.Hash() {
+		t.Fatal("hash not deterministic")
+	}
+	h2 := h
+	h2.Nonce = 43
+	if h.Hash() == h2.Hash() {
+		t.Fatal("different headers collided")
+	}
+}
+
+func TestMerkleRoot(t *testing.T) {
+	if MerkleRoot(nil) != (Hash{}) {
+		t.Fatal("empty merkle root should be zero")
+	}
+	a := MerkleRoot([][]byte{[]byte("a")})
+	b := MerkleRoot([][]byte{[]byte("b")})
+	if a == b {
+		t.Fatal("distinct single-tx roots collided")
+	}
+	ab := MerkleRoot([][]byte{[]byte("a"), []byte("b")})
+	ba := MerkleRoot([][]byte{[]byte("b"), []byte("a")})
+	if ab == ba {
+		t.Fatal("merkle root must be order sensitive")
+	}
+	// Odd counts pair the last leaf with itself and must still be stable.
+	odd := MerkleRoot([][]byte{[]byte("a"), []byte("b"), []byte("c")})
+	if odd == ab {
+		t.Fatal("3-leaf root equals 2-leaf root")
+	}
+}
+
+func TestBlockEncodeDecodeRoundTrip(t *testing.T) {
+	genesis := NewGenesis("test")
+	b := NewBlock(genesis, [][]byte{[]byte("tx1"), []byte("tx22"), {}}, time.UnixMilli(123456), 7)
+	buf, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBlock(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header != b.Header {
+		t.Fatalf("header mismatch: %+v vs %+v", got.Header, b.Header)
+	}
+	if len(got.Txs) != 3 || string(got.Txs[0]) != "tx1" || string(got.Txs[1]) != "tx22" || len(got.Txs[2]) != 0 {
+		t.Fatalf("txs mismatch: %q", got.Txs)
+	}
+	if got.Header.Hash() != b.Header.Hash() {
+		t.Fatal("hash changed across roundtrip")
+	}
+}
+
+// Property: encode/decode is the identity on arbitrary blocks.
+func TestBlockRoundTripProperty(t *testing.T) {
+	check := func(height uint64, nonce uint64, ts int64, txs [][]byte) bool {
+		if len(txs) > 64 {
+			txs = txs[:64]
+		}
+		for i := range txs {
+			if len(txs[i]) > 1024 {
+				txs[i] = txs[i][:1024]
+			}
+		}
+		b := &Block{
+			Header: Header{
+				Version:       1,
+				Height:        height,
+				TxRoot:        MerkleRoot(txs),
+				TimeUnixMilli: ts,
+				Nonce:         nonce,
+			},
+			Txs: txs,
+		}
+		buf, err := b.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := DecodeBlock(buf)
+		if err != nil {
+			return false
+		}
+		if got.Header != b.Header || len(got.Txs) != len(b.Txs) {
+			return false
+		}
+		for i := range txs {
+			if string(got.Txs[i]) != string(txs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeBlockRejectsCorruption(t *testing.T) {
+	b := NewBlock(NewGenesis("x"), [][]byte{[]byte("tx")}, time.Now(), 1)
+	buf, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeBlock(buf[:10]); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	if _, err := DecodeBlock(buf[:len(buf)-1]); err == nil {
+		t.Fatal("truncated tx accepted")
+	}
+	if _, err := DecodeBlock(append(buf, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestCheckBlock(t *testing.T) {
+	good := NewBlock(NewGenesis("x"), [][]byte{[]byte("tx")}, time.Now(), 1)
+	if err := CheckBlock(good); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckBlock(nil); err == nil {
+		t.Fatal("nil block accepted")
+	}
+	bad := *good
+	bad.Header.Version = 2
+	if err := CheckBlock(&bad); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	tampered := *good
+	tampered.Txs = [][]byte{[]byte("other")}
+	if err := CheckBlock(&tampered); err == nil {
+		t.Fatal("merkle mismatch accepted")
+	}
+}
+
+func TestEncodeLimits(t *testing.T) {
+	huge := &Block{Header: Header{Version: 1}, Txs: make([][]byte, MaxTxs+1)}
+	if _, err := huge.Encode(); err == nil {
+		t.Fatal("too many txs accepted")
+	}
+	big := &Block{Header: Header{Version: 1}, Txs: [][]byte{make([]byte, MaxTxSize+1)}}
+	if _, err := big.Encode(); err == nil {
+		t.Fatal("oversized tx accepted")
+	}
+}
+
+func TestNewGenesisDeterministic(t *testing.T) {
+	a := NewGenesis("net1")
+	b := NewGenesis("net1")
+	c := NewGenesis("net2")
+	if a.Header.Hash() != b.Header.Hash() {
+		t.Fatal("same tag should give same genesis")
+	}
+	if a.Header.Hash() == c.Header.Hash() {
+		t.Fatal("different tags should differ")
+	}
+	if err := CheckBlock(a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewBlockCopiesTxs(t *testing.T) {
+	tx := []byte("mutate-me")
+	b := NewBlock(NewGenesis("x"), [][]byte{tx}, time.Now(), 0)
+	tx[0] = 'X'
+	if string(b.Txs[0]) != "mutate-me" {
+		t.Fatal("block aliases caller's tx slice")
+	}
+}
+
+func TestNextMiningInterval(t *testing.T) {
+	r := rng.New(1)
+	mean := 100 * time.Millisecond
+	var sum time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		d := NextMiningInterval(r, mean)
+		if d < 0 {
+			t.Fatal("negative interval")
+		}
+		sum += d
+	}
+	got := sum / n
+	if got < 90*time.Millisecond || got > 110*time.Millisecond {
+		t.Fatalf("mean interval %v too far from %v", got, mean)
+	}
+	if NextMiningInterval(r, 0) != 0 {
+		t.Fatal("zero mean should give zero interval")
+	}
+}
+
+func TestStoreForkChoice(t *testing.T) {
+	g := NewGenesis("store")
+	s, err := NewStore(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := NewBlock(g, [][]byte{[]byte("b1")}, time.UnixMilli(1), 1)
+	b2 := NewBlock(b1, [][]byte{[]byte("b2")}, time.UnixMilli(2), 2)
+	fork1 := NewBlock(g, [][]byte{[]byte("f1")}, time.UnixMilli(3), 3)
+	for _, b := range []*Block{b1, b2, fork1} {
+		if err := s.Add(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Height() != 2 {
+		t.Fatalf("height = %d, want 2", s.Height())
+	}
+	if s.Tip().Header.Hash() != b2.Header.Hash() {
+		t.Fatal("tip should be the longest chain")
+	}
+	// Extending the fork to the same height must not displace the tip.
+	fork2 := NewBlock(fork1, [][]byte{[]byte("f2")}, time.UnixMilli(4), 4)
+	if err := s.Add(fork2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Tip().Header.Hash() != b2.Header.Hash() {
+		t.Fatal("equal-height fork displaced first-seen tip")
+	}
+	// A longer fork wins.
+	fork3 := NewBlock(fork2, [][]byte{[]byte("f3")}, time.UnixMilli(5), 5)
+	if err := s.Add(fork3); err != nil {
+		t.Fatal(err)
+	}
+	if s.Tip().Header.Hash() != fork3.Header.Hash() {
+		t.Fatal("longer fork did not win")
+	}
+	if s.Len() != 6 {
+		t.Fatalf("store has %d blocks, want 6", s.Len())
+	}
+}
+
+func TestStoreErrors(t *testing.T) {
+	g := NewGenesis("store2")
+	s, err := NewStore(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := NewBlock(g, nil, time.UnixMilli(1), 1)
+	if err := s.Add(b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(b1); !errors.Is(err, ErrDuplicateBlock) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	orphan := NewBlock(b1, nil, time.UnixMilli(2), 2)
+	orphan.Header.PrevHash = Hash{9, 9, 9}
+	orphan.Header.TxRoot = MerkleRoot(orphan.Txs)
+	if err := s.Add(orphan); !errors.Is(err, ErrOrphanBlock) {
+		t.Fatalf("orphan: %v", err)
+	}
+	badHeight := NewBlock(b1, nil, time.UnixMilli(3), 3)
+	badHeight.Header.Height = 9
+	if err := s.Add(badHeight); !errors.Is(err, ErrBadHeight) {
+		t.Fatalf("bad height: %v", err)
+	}
+	if !s.Has(b1.Header.Hash()) {
+		t.Fatal("Has lost a block")
+	}
+	if s.Get(Hash{1}) != nil {
+		t.Fatal("Get invented a block")
+	}
+	if s.Genesis() != g.Header.Hash() {
+		t.Fatal("genesis hash wrong")
+	}
+}
+
+func TestNewStoreValidation(t *testing.T) {
+	if _, err := NewStore(nil); err == nil {
+		t.Fatal("nil genesis accepted")
+	}
+	nonZero := NewBlock(NewGenesis("x"), nil, time.Now(), 0)
+	if _, err := NewStore(nonZero); err == nil {
+		t.Fatal("non-zero-height genesis accepted")
+	}
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	g := NewGenesis("conc")
+	s, err := NewStore(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := g
+	blocks := make([]*Block, 50)
+	for i := range blocks {
+		blocks[i] = NewBlock(prev, nil, time.UnixMilli(int64(i)), uint64(i))
+		prev = blocks[i]
+	}
+	done := make(chan error, 2)
+	go func() {
+		for _, b := range blocks {
+			if err := s.Add(b); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	go func() {
+		for i := 0; i < 1000; i++ {
+			_ = s.Height()
+			_ = s.Len()
+			_ = s.Tip()
+		}
+		done <- nil
+	}()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Height() != 50 {
+		t.Fatalf("height = %d, want 50", s.Height())
+	}
+}

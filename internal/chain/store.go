@@ -1,0 +1,109 @@
+package chain
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Store errors.
+var (
+	// ErrDuplicateBlock indicates the block is already stored.
+	ErrDuplicateBlock = errors.New("chain: duplicate block")
+	// ErrOrphanBlock indicates the block's parent is unknown.
+	ErrOrphanBlock = errors.New("chain: orphan block")
+	// ErrBadHeight indicates the block's height is not parent height + 1.
+	ErrBadHeight = errors.New("chain: bad height")
+)
+
+// Store is a thread-safe block store with longest-chain (highest block)
+// fork choice. Ties keep the first-seen tip, matching Bitcoin's rule.
+type Store struct {
+	mu      sync.RWMutex
+	blocks  map[Hash]*Block
+	genesis Hash
+	tip     Hash
+}
+
+// NewStore creates a store rooted at the given genesis block.
+func NewStore(genesis *Block) (*Store, error) {
+	if err := CheckBlock(genesis); err != nil {
+		return nil, err
+	}
+	if genesis.Header.Height != 0 {
+		return nil, fmt.Errorf("chain: genesis height %d, want 0", genesis.Header.Height)
+	}
+	h := genesis.Header.Hash()
+	return &Store{
+		blocks:  map[Hash]*Block{h: genesis},
+		genesis: h,
+		tip:     h,
+	}, nil
+}
+
+// Add validates and stores a block. The parent must already be present.
+// The tip advances when the new block is strictly higher.
+func (s *Store) Add(b *Block) error {
+	if err := CheckBlock(b); err != nil {
+		return err
+	}
+	h := b.Header.Hash()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.blocks[h]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateBlock, h)
+	}
+	parent, ok := s.blocks[b.Header.PrevHash]
+	if !ok {
+		return fmt.Errorf("%w: parent %s of %s", ErrOrphanBlock, b.Header.PrevHash, h)
+	}
+	if b.Header.Height != parent.Header.Height+1 {
+		return fmt.Errorf("%w: %d after parent %d", ErrBadHeight, b.Header.Height, parent.Header.Height)
+	}
+	s.blocks[h] = b
+	if b.Header.Height > s.blocks[s.tip].Header.Height {
+		s.tip = h
+	}
+	return nil
+}
+
+// Has reports whether the block is stored.
+func (s *Store) Has(h Hash) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.blocks[h]
+	return ok
+}
+
+// Get returns a stored block, or nil.
+func (s *Store) Get(h Hash) *Block {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.blocks[h]
+}
+
+// Tip returns the current best block.
+func (s *Store) Tip() *Block {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.blocks[s.tip]
+}
+
+// Height returns the current best height.
+func (s *Store) Height() uint64 {
+	return s.Tip().Header.Height
+}
+
+// Len returns the number of stored blocks (including genesis).
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.blocks)
+}
+
+// Genesis returns the genesis hash.
+func (s *Store) Genesis() Hash {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.genesis
+}

@@ -1,0 +1,635 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/perigee-net/perigee/internal/hashpower"
+	"github.com/perigee-net/perigee/internal/latency"
+	"github.com/perigee-net/perigee/internal/netsim"
+	"github.com/perigee-net/perigee/internal/rng"
+	"github.com/perigee-net/perigee/internal/stats"
+	"github.com/perigee-net/perigee/internal/topology"
+)
+
+// Params are the protocol constants of Algorithm 1.
+type Params struct {
+	// OutDegree is the number of outgoing connections each node keeps
+	// (paper: 8).
+	OutDegree int
+	// Explore is the number of random exploration connections made each
+	// round (paper: e_v = 2); the best OutDegree−Explore scorers are
+	// retained (d_v = 6).
+	Explore int
+	// Percentile is the offset quantile used by all scoring methods
+	// (paper: 0.9).
+	Percentile float64
+	// RoundBlocks is |B|, the number of blocks mined per round (paper: 100
+	// for Vanilla/Subset, 1 for UCB).
+	RoundBlocks int
+	// UCBConstant is the exploration constant c in eq. (3)–(4). The paper
+	// does not publish a value; 50ms is calibrated so the confidence bonus
+	// is on the order of inter-regional latency differences.
+	UCBConstant time.Duration
+	// MaxDialAttempts bounds the random candidate retries when an
+	// exploration target declines the connection (incoming slots full).
+	MaxDialAttempts int
+}
+
+// DefaultParams returns the paper's evaluation constants for a method.
+func DefaultParams(m Method) Params {
+	p := Params{
+		OutDegree:       8,
+		Explore:         2,
+		Percentile:      0.9,
+		RoundBlocks:     100,
+		UCBConstant:     50 * time.Millisecond,
+		MaxDialAttempts: 200,
+	}
+	if m == UCB {
+		// §4.2.2: UCB rounds span a single block, and neighbor replacement
+		// happens through interval-separation evictions rather than a
+		// fixed exploration quota.
+		p.RoundBlocks = 1
+		p.Explore = 0
+	}
+	return p
+}
+
+func (p Params) validate() error {
+	if p.OutDegree <= 0 {
+		return fmt.Errorf("core: out-degree %d must be positive", p.OutDegree)
+	}
+	if p.Explore < 0 || p.Explore > p.OutDegree {
+		return fmt.Errorf("core: explore count %d outside [0, %d]", p.Explore, p.OutDegree)
+	}
+	if p.Percentile <= 0 || p.Percentile > 1 {
+		return fmt.Errorf("core: percentile %v outside (0, 1]", p.Percentile)
+	}
+	if p.RoundBlocks <= 0 {
+		return fmt.Errorf("core: round blocks %d must be positive", p.RoundBlocks)
+	}
+	if p.UCBConstant < 0 {
+		return fmt.Errorf("core: UCB constant %v must be non-negative", p.UCBConstant)
+	}
+	if p.MaxDialAttempts <= 0 {
+		return fmt.Errorf("core: max dial attempts %d must be positive", p.MaxDialAttempts)
+	}
+	return nil
+}
+
+// Config assembles an Engine.
+type Config struct {
+	// Method selects the scoring rule.
+	Method Method
+	// Params are the protocol constants; zero value means DefaultParams(Method).
+	Params Params
+	// Table is the evolving connection table (pre-seeded, e.g. by
+	// topology.Random). The engine takes ownership.
+	Table *topology.Table
+	// Latency is the link delay model.
+	Latency latency.Model
+	// Forward is the per-node validation delay Δ_v.
+	Forward []time.Duration
+	// Power is the per-node hash power (any non-negative scale).
+	Power []float64
+	// Pinned are permanent undirected edges merged into the communication
+	// graph each round (e.g. a relay tree); they are not scored and never
+	// disconnected.
+	Pinned [][2]int
+	// Frozen marks nodes that never update their neighbors (relay
+	// infrastructure, protocol-deviant peers). Optional.
+	Frozen []bool
+	// Silent marks free-riding nodes that receive blocks but never relay
+	// them (§1's protocol deviation). Optional.
+	Silent []bool
+	// SendInterval, if non-nil, serializes each node's uploads (see
+	// netsim.Config.SendInterval); λ evaluation then uses the event
+	// simulation instead of the analytic pass.
+	SendInterval []time.Duration
+	// Rand drives source sampling and exploration.
+	Rand *rng.RNG
+}
+
+// Engine runs the Perigee protocol round by round over the simulated
+// network, as the paper does: connection updates execute synchronously at
+// all nodes after each round's blocks are broadcast (§2.1).
+type Engine struct {
+	method       Method
+	params       Params
+	table        *topology.Table
+	lat          latency.Model
+	forward      []time.Duration
+	power        []float64
+	pinned       [][2]int
+	frozen       []bool
+	silent       []bool
+	sendInterval []time.Duration
+	rand         *rng.RNG
+	sampler      *hashpower.Sampler
+
+	round int
+	// ucbHist[v][u] accumulates finite offsets for v's outgoing neighbor u
+	// across the rounds their connection has been alive.
+	ucbHist []map[int][]time.Duration
+}
+
+// RoundReport summarizes one protocol round.
+type RoundReport struct {
+	// Round is the 1-based index of the completed round.
+	Round int
+	// Blocks is the number of blocks broadcast.
+	Blocks int
+	// Dropped is the total number of outgoing connections disconnected.
+	Dropped int
+	// Added is the total number of new outgoing connections established.
+	Added int
+	// Unfilled counts outgoing slots that could not be filled after
+	// MaxDialAttempts (should be zero in sane configurations).
+	Unfilled int
+}
+
+// NewEngine validates the configuration and builds an engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	if !cfg.Method.Valid() {
+		return nil, fmt.Errorf("core: invalid method %d", int(cfg.Method))
+	}
+	if cfg.Table == nil {
+		return nil, fmt.Errorf("core: nil table")
+	}
+	n := cfg.Table.N()
+	params := cfg.Params
+	if params == (Params{}) {
+		params = DefaultParams(cfg.Method)
+	}
+	if err := params.validate(); err != nil {
+		return nil, err
+	}
+	if params.OutDegree >= n {
+		return nil, fmt.Errorf("core: out-degree %d must be below n=%d", params.OutDegree, n)
+	}
+	if cfg.Latency == nil {
+		return nil, fmt.Errorf("core: nil latency model")
+	}
+	if cfg.Latency.N() < n {
+		return nil, fmt.Errorf("core: latency model covers %d nodes, table has %d", cfg.Latency.N(), n)
+	}
+	if len(cfg.Forward) != n {
+		return nil, fmt.Errorf("core: forward delays cover %d nodes, want %d", len(cfg.Forward), n)
+	}
+	if len(cfg.Power) != n {
+		return nil, fmt.Errorf("core: power covers %d nodes, want %d", len(cfg.Power), n)
+	}
+	if cfg.Frozen != nil && len(cfg.Frozen) != n {
+		return nil, fmt.Errorf("core: frozen mask covers %d nodes, want %d", len(cfg.Frozen), n)
+	}
+	if cfg.Silent != nil && len(cfg.Silent) != n {
+		return nil, fmt.Errorf("core: silent mask covers %d nodes, want %d", len(cfg.Silent), n)
+	}
+	if cfg.SendInterval != nil && len(cfg.SendInterval) != n {
+		return nil, fmt.Errorf("core: send intervals cover %d nodes, want %d", len(cfg.SendInterval), n)
+	}
+	if cfg.Rand == nil {
+		return nil, fmt.Errorf("core: nil rng")
+	}
+	sampler, err := hashpower.NewSampler(cfg.Power)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		method:       cfg.Method,
+		params:       params,
+		table:        cfg.Table,
+		lat:          cfg.Latency,
+		forward:      cfg.Forward,
+		power:        cfg.Power,
+		pinned:       cfg.Pinned,
+		frozen:       cfg.Frozen,
+		silent:       cfg.Silent,
+		sendInterval: cfg.SendInterval,
+		rand:         cfg.Rand,
+		sampler:      sampler,
+	}
+	if cfg.Method == UCB {
+		e.ucbHist = make([]map[int][]time.Duration, n)
+		for v := range e.ucbHist {
+			e.ucbHist[v] = make(map[int][]time.Duration)
+		}
+	}
+	return e, nil
+}
+
+// N returns the network size.
+func (e *Engine) N() int { return e.table.N() }
+
+// Round returns how many rounds have completed.
+func (e *Engine) Round() int { return e.round }
+
+// Table exposes the evolving connection table (owned by the engine).
+func (e *Engine) Table() *topology.Table { return e.table }
+
+// Params returns the protocol constants in use.
+func (e *Engine) Params() Params { return e.params }
+
+// Adjacency returns the current undirected communication graph including
+// pinned edges.
+func (e *Engine) Adjacency() [][]int {
+	if len(e.pinned) == 0 {
+		return e.table.Undirected()
+	}
+	return topology.MergeAdjacency(e.table.Undirected(), e.pinned)
+}
+
+func (e *Engine) newSimulator() (*netsim.Simulator, error) {
+	return netsim.New(netsim.Config{
+		Adj:          e.Adjacency(),
+		Latency:      e.lat,
+		Forward:      e.forward,
+		SendInterval: e.sendInterval,
+		Silent:       e.silent,
+	})
+}
+
+// Step runs one full protocol round: broadcast RoundBlocks blocks, collect
+// per-neighbor observations at every node, then synchronously update every
+// node's outgoing connections.
+func (e *Engine) Step() (RoundReport, error) {
+	n := e.table.N()
+	sim, err := e.newSimulator()
+	if err != nil {
+		return RoundReport{}, err
+	}
+	adj := sim.Adj()
+
+	// Snapshot outgoing sets and locate each outgoing neighbor's slot in
+	// the (sorted) adjacency rows.
+	outs := make([][]int, n)
+	slot := make([][]int, n)
+	for v := 0; v < n; v++ {
+		outs[v] = e.table.OutNeighbors(v)
+		slot[v] = make([]int, len(outs[v]))
+		for i, u := range outs[v] {
+			k := sort.SearchInts(adj[v], u)
+			if k >= len(adj[v]) || adj[v][k] != u {
+				return RoundReport{}, fmt.Errorf("core: internal: outgoing neighbor %d of %d missing from adjacency", u, v)
+			}
+			slot[v][i] = k
+		}
+	}
+	obs := make([]Observations, n)
+	for v := 0; v < n; v++ {
+		obs[v] = NewObservations(outs[v], e.params.RoundBlocks)
+	}
+
+	// Broadcast phase.
+	for b := 0; b < e.params.RoundBlocks; b++ {
+		src := e.sampler.Sample(e.rand)
+		res, err := sim.Broadcast(src)
+		if err != nil {
+			return RoundReport{}, err
+		}
+		for v := 0; v < n; v++ {
+			row := res.EdgeArrival[v]
+			if len(row) == 0 {
+				continue
+			}
+			tMin := stats.InfDuration
+			for _, t := range row {
+				if t < tMin {
+					tMin = t
+				}
+			}
+			if tMin == stats.InfDuration {
+				continue // nothing heard; offsets stay censored
+			}
+			dst := obs[v].Offsets[b]
+			for i := range outs[v] {
+				if t := row[slot[v][i]]; t != stats.InfDuration {
+					dst[i] = t - tMin
+				}
+			}
+		}
+	}
+
+	report, err := e.update(obs)
+	if err != nil {
+		return RoundReport{}, err
+	}
+	e.round++
+	report.Round = e.round
+	report.Blocks = e.params.RoundBlocks
+	return report, nil
+}
+
+// update applies the method-specific neighbor update synchronously at all
+// nodes: first every node decides which neighbors to keep, then all drops
+// happen, then all exploration connections are established in random node
+// order.
+func (e *Engine) update(obs []Observations) (RoundReport, error) {
+	n := e.table.N()
+	var report RoundReport
+	drop := make([][]int, n) // node IDs to disconnect, per node
+	for v := 0; v < n; v++ {
+		if e.frozen != nil && e.frozen[v] {
+			continue
+		}
+		switch e.method {
+		case Vanilla:
+			drop[v] = e.decideVanilla(obs[v])
+		case Subset:
+			drop[v] = e.decideSubset(obs[v])
+		case UCB:
+			drop[v] = e.decideUCB(v, obs[v])
+		}
+	}
+	for v := 0; v < n; v++ {
+		for _, u := range drop[v] {
+			if err := e.table.Disconnect(v, u); err != nil {
+				return report, fmt.Errorf("core: dropping %d->%d: %w", v, u, err)
+			}
+			report.Dropped++
+		}
+	}
+	// Exploration: refill to OutDegree in random node order so no node is
+	// systematically advantaged in the race for incoming slots.
+	for _, v := range e.rand.Perm(n) {
+		if e.frozen != nil && e.frozen[v] {
+			continue
+		}
+		added, unfilled := e.explore(v)
+		report.Added += added
+		report.Unfilled += unfilled
+	}
+	if e.method == UCB {
+		e.recordUCBHistory(obs)
+	}
+	return report, nil
+}
+
+// decideVanilla returns the outgoing neighbors v should drop under
+// independent percentile scoring: everyone outside the best
+// OutDegree−Explore.
+func (e *Engine) decideVanilla(o Observations) []int {
+	retain := e.params.OutDegree - e.params.Explore
+	if len(o.Neighbors) <= retain {
+		return nil
+	}
+	scores := VanillaScores(o, e.params.Percentile)
+	ranked := RankByScore(o, scores)
+	return neighborsAtRanks(o, ranked[retain:])
+}
+
+// decideSubset returns the drops under greedy joint scoring.
+func (e *Engine) decideSubset(o Observations) []int {
+	retain := e.params.OutDegree - e.params.Explore
+	if len(o.Neighbors) <= retain {
+		return nil
+	}
+	keep := SubsetSelect(o, retain, e.params.Percentile)
+	keepSet := make(map[int]bool, len(keep))
+	for _, i := range keep {
+		keepSet[i] = true
+	}
+	var drops []int
+	for i := range o.Neighbors {
+		if !keepSet[i] {
+			drops = append(drops, o.Neighbors[i])
+		}
+	}
+	return drops
+}
+
+// decideUCB evicts at most one neighbor, when the confidence intervals of
+// eq. (3)–(4) separate; histories accumulate across rounds.
+func (e *Engine) decideUCB(v int, o Observations) []int {
+	k := len(o.Neighbors)
+	if k == 0 {
+		return nil
+	}
+	lcbs := make([]time.Duration, k)
+	ucbs := make([]time.Duration, k)
+	for i, u := range o.Neighbors {
+		samples := e.ucbHist[v][u]
+		// Include this round's finite offsets in the decision.
+		for _, row := range o.Offsets {
+			if row[i] != stats.InfDuration {
+				samples = append(samples, row[i])
+			}
+		}
+		lcbs[i], ucbs[i] = UCBBounds(samples, e.params.Percentile, e.params.UCBConstant)
+	}
+	evict := UCBEvict(lcbs, ucbs)
+	if evict == -1 {
+		return nil
+	}
+	return []int{o.Neighbors[evict]}
+}
+
+// neighborsAtRanks maps ranked indices back to neighbor IDs.
+func neighborsAtRanks(o Observations, ranks []int) []int {
+	out := make([]int, len(ranks))
+	for i, r := range ranks {
+		out[i] = o.Neighbors[r]
+	}
+	return out
+}
+
+// explore connects v to random fresh peers until it has OutDegree outgoing
+// connections, honoring incoming caps.
+func (e *Engine) explore(v int) (added, unfilled int) {
+	n := e.table.N()
+	attempts := 0
+	for e.table.OutDegree(v) < e.params.OutDegree {
+		if attempts >= e.params.MaxDialAttempts {
+			unfilled = e.params.OutDegree - e.table.OutDegree(v)
+			return added, unfilled
+		}
+		attempts++
+		cand := e.rand.IntN(n)
+		if cand == v || e.table.HasOut(v, cand) {
+			continue
+		}
+		if err := e.table.Connect(v, cand); err != nil {
+			continue // incoming full — try another candidate
+		}
+		added++
+	}
+	return added, 0
+}
+
+// recordUCBHistory appends this round's finite offsets to the history of
+// every connection that survived, and resets history for connections that
+// no longer exist (fresh connections start with an empty record, §4.2.2).
+func (e *Engine) recordUCBHistory(obs []Observations) {
+	n := e.table.N()
+	for v := 0; v < n; v++ {
+		current := make(map[int]bool, e.params.OutDegree)
+		for _, u := range e.table.OutNeighbors(v) {
+			current[u] = true
+		}
+		o := obs[v]
+		for i, u := range o.Neighbors {
+			if !current[u] {
+				delete(e.ucbHist[v], u)
+				continue
+			}
+			for _, row := range o.Offsets {
+				if row[i] != stats.InfDuration {
+					e.ucbHist[v][u] = append(e.ucbHist[v][u], row[i])
+				}
+			}
+		}
+		// Drop histories of connections that disappeared for any other
+		// reason (e.g. future churn extensions).
+		for u := range e.ucbHist[v] {
+			if !current[u] {
+				delete(e.ucbHist[v], u)
+			}
+		}
+	}
+}
+
+// Run executes rounds protocol rounds, returning the last report.
+func (e *Engine) Run(rounds int) (RoundReport, error) {
+	if rounds <= 0 {
+		return RoundReport{}, errors.New("core: round count must be positive")
+	}
+	var last RoundReport
+	for i := 0; i < rounds; i++ {
+		r, err := e.Step()
+		if err != nil {
+			return last, err
+		}
+		last = r
+	}
+	return last, nil
+}
+
+// Delays computes the paper's metric λ_v (§2.2) for each source in sources
+// (all nodes when nil): the time for a block mined by v to reach nodes
+// holding at least frac of the total hash power, on the current topology.
+// With upload serialization configured, the event simulation is used
+// instead of the analytic pass.
+func (e *Engine) Delays(frac float64, sources []int) ([]time.Duration, error) {
+	sim, err := e.newSimulator()
+	if err != nil {
+		return nil, err
+	}
+	if sources == nil {
+		sources = allNodes(e.table.N())
+	}
+	out := make([]time.Duration, len(sources))
+	for i, src := range sources {
+		arrival, err := e.arrivalFor(sim, src)
+		if err != nil {
+			return nil, err
+		}
+		out[i], err = netsim.DelayToFraction(arrival, e.power, frac)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func allNodes(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func (e *Engine) arrivalFor(sim *netsim.Simulator, src int) ([]time.Duration, error) {
+	if e.sendInterval == nil {
+		return sim.ArrivalAnalytic(src)
+	}
+	res, err := sim.Broadcast(src)
+	if err != nil {
+		return nil, err
+	}
+	return res.Arrival, nil
+}
+
+// ReceiveDelays computes the complementary metric: for each node v, the
+// mean time for v to receive blocks mined by the given sources. This is
+// what a free-riding node cares about — the incentive experiments compare
+// it between honest and silent nodes.
+func (e *Engine) ReceiveDelays(sources []int) ([]time.Duration, error) {
+	sim, err := e.newSimulator()
+	if err != nil {
+		return nil, err
+	}
+	if sources == nil {
+		sources = allNodes(e.table.N())
+	}
+	n := e.table.N()
+	sums := make([]time.Duration, n)
+	censored := make([]bool, n)
+	for _, src := range sources {
+		arrival, err := e.arrivalFor(sim, src)
+		if err != nil {
+			return nil, err
+		}
+		for v := 0; v < n; v++ {
+			if arrival[v] == stats.InfDuration {
+				censored[v] = true
+				continue
+			}
+			sums[v] += arrival[v]
+		}
+	}
+	out := make([]time.Duration, n)
+	for v := 0; v < n; v++ {
+		if censored[v] {
+			out[v] = stats.InfDuration
+			continue
+		}
+		out[v] = sums[v] / time.Duration(len(sources))
+	}
+	return out, nil
+}
+
+// Churn resets the given nodes as if they left and were replaced by fresh
+// peers at the same index: all their connections (both directions) are
+// torn down, any accumulated scoring history is forgotten, and the fresh
+// node immediately dials OutDegree random peers. Neighbors that lose an
+// outgoing connection refill it during their next round's exploration,
+// matching how a real node only reacts to a disconnect when it next
+// updates.
+func (e *Engine) Churn(nodes []int) error {
+	n := e.table.N()
+	for _, v := range nodes {
+		if v < 0 || v >= n {
+			return fmt.Errorf("core: churn node %d out of range (n=%d)", v, n)
+		}
+	}
+	for _, v := range nodes {
+		for _, u := range e.table.OutNeighbors(v) {
+			if err := e.table.Disconnect(v, u); err != nil {
+				return fmt.Errorf("core: churn dropping %d->%d: %w", v, u, err)
+			}
+		}
+		for _, u := range e.table.InNeighbors(v) {
+			if err := e.table.Disconnect(u, v); err != nil {
+				return fmt.Errorf("core: churn dropping %d->%d: %w", u, v, err)
+			}
+			if e.ucbHist != nil {
+				delete(e.ucbHist[u], v)
+			}
+		}
+		if e.ucbHist != nil {
+			e.ucbHist[v] = make(map[int][]time.Duration)
+		}
+	}
+	// Fresh nodes bootstrap with random outgoing connections.
+	for _, v := range nodes {
+		if e.frozen != nil && e.frozen[v] {
+			continue
+		}
+		e.explore(v)
+	}
+	return nil
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/perigee-net/perigee/internal/stats"
+)
+
+func TestChurnResetsNodeState(t *testing.T) {
+	tn := newTestNetwork(t, 40, 21)
+	params := DefaultParams(Subset)
+	params.RoundBlocks = 5
+	e, err := NewEngine(tn.config(Subset, params))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	churned := []int{3, 17}
+	beforeIn := map[int][]int{}
+	for _, v := range churned {
+		beforeIn[v] = e.Table().InNeighbors(v)
+	}
+	if err := e.Churn(churned); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Table().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	churnedSet := map[int]bool{}
+	for _, v := range churned {
+		churnedSet[v] = true
+	}
+	for _, v := range churned {
+		// Fresh node redialed its full outgoing quota.
+		if got := e.Table().OutDegree(v); got != 8 {
+			t.Fatalf("churned node %d out-degree %d, want 8", v, got)
+		}
+		// All pre-churn incoming connections are gone; only other fresh
+		// nodes (which redial inside the same Churn call) may have dialed
+		// in already.
+		for _, u := range e.Table().InNeighbors(v) {
+			if !churnedSet[u] {
+				t.Fatalf("churned node %d retains incoming connection from old neighbor %d", v, u)
+			}
+		}
+	}
+	// The network keeps functioning: neighbors refill next round.
+	if _, err := e.Step(); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < e.N(); v++ {
+		if got := e.Table().OutDegree(v); got != 8 {
+			t.Fatalf("node %d out-degree %d after post-churn round", v, got)
+		}
+	}
+}
+
+func TestChurnValidatesRange(t *testing.T) {
+	tn := newTestNetwork(t, 30, 22)
+	e, err := NewEngine(tn.config(Vanilla, func() Params {
+		p := DefaultParams(Vanilla)
+		p.RoundBlocks = 2
+		return p
+	}()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Churn([]int{-1}); err == nil {
+		t.Fatal("expected error for negative node")
+	}
+	if err := e.Churn([]int{99}); err == nil {
+		t.Fatal("expected error for out-of-range node")
+	}
+}
+
+func TestChurnClearsUCBHistory(t *testing.T) {
+	tn := newTestNetwork(t, 30, 23)
+	e, err := NewEngine(tn.config(UCB, DefaultParams(UCB)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Churn([]int{5}); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.ucbHist[5]) != 0 {
+		t.Fatalf("churned node retains %d histories", len(e.ucbHist[5]))
+	}
+	for v := 0; v < e.N(); v++ {
+		if _, ok := e.ucbHist[v][5]; ok {
+			t.Fatalf("node %d retains history for churned neighbor 5", v)
+		}
+	}
+	if _, err := e.Step(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSilentNodesInEngine(t *testing.T) {
+	tn := newTestNetwork(t, 50, 24)
+	cfg := tn.config(Subset, func() Params {
+		p := DefaultParams(Subset)
+		p.RoundBlocks = 10
+		return p
+	}())
+	silent := make([]bool, 50)
+	silent[9] = true
+	cfg.Silent = silent
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	delays, err := e.Delays(0.9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, d := range delays {
+		if d == stats.InfDuration {
+			t.Fatalf("node %d unreachable with one silent node", v)
+		}
+	}
+}
+
+func TestSilentMaskValidation(t *testing.T) {
+	tn := newTestNetwork(t, 30, 25)
+	cfg := tn.config(Subset, Params{})
+	cfg.Silent = make([]bool, 3)
+	if _, err := NewEngine(cfg); err == nil {
+		t.Fatal("expected error for wrong-length silent mask")
+	}
+}
+
+func TestSendIntervalEngineUsesEventSim(t *testing.T) {
+	tn := newTestNetwork(t, 40, 26)
+	cfg := tn.config(Subset, func() Params {
+		p := DefaultParams(Subset)
+		p.RoundBlocks = 5
+		return p
+	}())
+	si := make([]time.Duration, 40)
+	for i := range si {
+		si[i] = 2 * time.Millisecond
+	}
+	cfg.SendInterval = si
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Step(); err != nil {
+		t.Fatal(err)
+	}
+	delays, err := e.Delays(0.9, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delays) != 2 || delays[0] <= 0 {
+		t.Fatalf("event-sim delays broken: %v", delays)
+	}
+}
+
+func TestSendIntervalValidation(t *testing.T) {
+	tn := newTestNetwork(t, 30, 27)
+	cfg := tn.config(Subset, Params{})
+	cfg.SendInterval = make([]time.Duration, 2)
+	if _, err := NewEngine(cfg); err == nil {
+		t.Fatal("expected error for wrong-length send intervals")
+	}
+}
+
+func TestReceiveDelays(t *testing.T) {
+	tn := newTestNetwork(t, 50, 28)
+	e, err := NewEngine(tn.config(Subset, func() Params {
+		p := DefaultParams(Subset)
+		p.RoundBlocks = 5
+		return p
+	}()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv, err := e.ReceiveDelays([]int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recv) != 50 {
+		t.Fatalf("got %d receive delays", len(recv))
+	}
+	// Sources themselves have small (but nonzero, averaged) delays; every
+	// node must be finite in a connected graph.
+	for v, d := range recv {
+		if d == stats.InfDuration {
+			t.Fatalf("node %d unreachable", v)
+		}
+		if d < 0 {
+			t.Fatalf("node %d negative receive delay %v", v, d)
+		}
+	}
+	// A node's mean receive delay from itself included: source 0's own
+	// arrival is 0 for its block, so its mean is below the max.
+	if recv[0] >= recv[49] && recv[0] >= recv[25] {
+		// Not a strict invariant, but sources should be on the fast side;
+		// only fail when it is egregiously wrong.
+		t.Logf("note: source receive delay %v vs others %v/%v", recv[0], recv[25], recv[49])
+	}
+}
+
+func TestReceiveDelaysWithSilentNodes(t *testing.T) {
+	tn := newTestNetwork(t, 60, 29)
+	cfg := tn.config(Subset, func() Params {
+		p := DefaultParams(Subset)
+		p.RoundBlocks = 10
+		return p
+	}())
+	silent := make([]bool, 60)
+	silent[5] = true
+	silent[6] = true
+	cfg.Silent = silent
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(4); err != nil {
+		t.Fatal(err)
+	}
+	var honest []int
+	for v := 0; v < 60; v++ {
+		if !silent[v] {
+			honest = append(honest, v)
+		}
+	}
+	recv, err := e.ReceiveDelays(honest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var honestSum, silentSum time.Duration
+	var honestN, silentN int
+	for v, d := range recv {
+		if d == stats.InfDuration {
+			continue
+		}
+		if silent[v] {
+			silentSum += d
+			silentN++
+		} else {
+			honestSum += d
+			honestN++
+		}
+	}
+	if silentN == 0 || honestN == 0 {
+		t.Fatal("missing data")
+	}
+	t.Logf("mean receive: honest %v, silent %v",
+		honestSum/time.Duration(honestN), silentSum/time.Duration(silentN))
+}

@@ -1,0 +1,233 @@
+// Package core implements the Perigee protocol (§4): per-round neighbor
+// observation sets, the three scoring methods (Vanilla §4.2.1, UCB §4.2.2,
+// Subset §4.3), and the engine that runs the protocol synchronously over a
+// simulated network.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/perigee-net/perigee/internal/stats"
+)
+
+// Method selects the neighbor-scoring rule.
+type Method int
+
+// The three scoring methods proposed by the paper.
+const (
+	// Vanilla scores each neighbor independently by the 90th percentile of
+	// its time-normalized block arrival offsets (§4.2.1).
+	Vanilla Method = iota
+	// UCB maintains per-neighbor confidence intervals over accumulated
+	// offsets and evicts a neighbor only when the intervals separate
+	// (§4.2.2).
+	UCB
+	// Subset greedily selects the group of neighbors whose joint delivery
+	// times complement each other (§4.3).
+	Subset
+)
+
+// String returns the method's name as used in the paper's figures.
+func (m Method) String() string {
+	switch m {
+	case Vanilla:
+		return "Perigee-Vanilla"
+	case UCB:
+		return "Perigee-UCB"
+	case Subset:
+		return "Perigee-Subset"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Valid reports whether m is a defined method.
+func (m Method) Valid() bool { return m >= Vanilla && m <= Subset }
+
+// Observations holds one node's measurements for one round: for each of
+// its outgoing neighbors, the time-normalized arrival offset of each block
+// (t̃ = t(u,v) − min over all neighbors of t(·,v), per §4.2.1).
+// stats.InfDuration marks a block the neighbor never delivered.
+type Observations struct {
+	// Neighbors are the node IDs of the outgoing neighbors being scored
+	// (snapshot taken at round start).
+	Neighbors []int
+	// Offsets[b][i] is the offset of block b from neighbor Neighbors[i].
+	Offsets [][]time.Duration
+}
+
+// NewObservations allocates an observation set for the given neighbors and
+// block count, initialized to "never delivered".
+func NewObservations(neighbors []int, blocks int) Observations {
+	offsets := make([][]time.Duration, blocks)
+	backing := make([]time.Duration, blocks*len(neighbors))
+	for i := range backing {
+		backing[i] = stats.InfDuration
+	}
+	for b := range offsets {
+		offsets[b] = backing[b*len(neighbors) : (b+1)*len(neighbors) : (b+1)*len(neighbors)]
+	}
+	return Observations{Neighbors: append([]int(nil), neighbors...), Offsets: offsets}
+}
+
+// column extracts neighbor i's offsets across all blocks.
+func (o Observations) column(i int) []time.Duration {
+	col := make([]time.Duration, len(o.Offsets))
+	for b := range o.Offsets {
+		col[b] = o.Offsets[b][i]
+	}
+	return col
+}
+
+// VanillaScores assigns each neighbor the pct-percentile of its offset
+// multiset. Lower is better.
+func VanillaScores(obs Observations, pct float64) []time.Duration {
+	scores := make([]time.Duration, len(obs.Neighbors))
+	for i := range obs.Neighbors {
+		scores[i] = stats.DurationPercentile(obs.column(i), pct)
+	}
+	return scores
+}
+
+// RankByScore returns neighbor indices ordered best-first (ascending
+// score), breaking ties by neighbor ID for determinism.
+func RankByScore(obs Observations, scores []time.Duration) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		if scores[ia] != scores[ib] {
+			return scores[ia] < scores[ib]
+		}
+		return obs.Neighbors[ia] < obs.Neighbors[ib]
+	})
+	return idx
+}
+
+// SubsetSelect greedily picks up to retain neighbor indices whose joint
+// delivery profile is fastest (§4.3): the first pick minimizes the raw
+// pct-percentile; each subsequent pick minimizes the percentile of
+// per-block minima against the already-chosen set, so a neighbor is valued
+// only for the blocks it delivers faster than the current selection.
+//
+// The paper does not specify tie-breaking. Ties on the joint score are
+// common and consequential: once a chosen neighbor delivered first on
+// every block, all remaining candidates transform to identical zeros.
+// Ties therefore break toward the better individual (Vanilla) score —
+// a redundant-but-fast neighbor beats one that never delivers — and
+// finally toward the lower neighbor ID for determinism.
+func SubsetSelect(obs Observations, retain int, pct float64) []int {
+	k := len(obs.Neighbors)
+	if retain >= k {
+		all := make([]int, k)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	if retain <= 0 {
+		return nil
+	}
+	blocks := len(obs.Offsets)
+	individual := VanillaScores(obs, pct)
+	// best[b] is the fastest offset among chosen neighbors for block b.
+	best := make([]time.Duration, blocks)
+	for b := range best {
+		best[b] = stats.InfDuration
+	}
+	chosen := make([]int, 0, retain)
+	used := make([]bool, k)
+	transformed := make([]time.Duration, blocks)
+	for len(chosen) < retain {
+		bestIdx := -1
+		bestScore := stats.InfDuration
+		for i := 0; i < k; i++ {
+			if used[i] {
+				continue
+			}
+			for b := 0; b < blocks; b++ {
+				t := obs.Offsets[b][i]
+				if best[b] < t {
+					t = best[b]
+				}
+				transformed[b] = t
+			}
+			score := stats.DurationPercentile(transformed, pct)
+			if bestIdx == -1 || score < bestScore || (score == bestScore && subsetTieBetter(obs, individual, i, bestIdx)) {
+				bestScore = score
+				bestIdx = i
+			}
+		}
+		if bestIdx == -1 {
+			break
+		}
+		used[bestIdx] = true
+		chosen = append(chosen, bestIdx)
+		for b := 0; b < blocks; b++ {
+			if t := obs.Offsets[b][bestIdx]; t < best[b] {
+				best[b] = t
+			}
+		}
+	}
+	sort.Ints(chosen)
+	return chosen
+}
+
+// subsetTieBetter reports whether candidate i beats the incumbent on a
+// joint-score tie: better individual score first, then lower neighbor ID.
+func subsetTieBetter(obs Observations, individual []time.Duration, i, incumbent int) bool {
+	if individual[i] != individual[incumbent] {
+		return individual[i] < individual[incumbent]
+	}
+	return obs.Neighbors[i] < obs.Neighbors[incumbent]
+}
+
+// UCBBounds computes the lower and upper confidence bounds of eq. (3)–(4):
+// the pct-percentile of the accumulated finite offsets ± c·sqrt(log N / 2N).
+// A neighbor with no finite samples gets (InfDuration, InfDuration): there
+// is no evidence it ever delivers blocks.
+func UCBBounds(samples []time.Duration, pct float64, c time.Duration) (lcb, ucb time.Duration) {
+	n := len(samples)
+	if n == 0 {
+		return stats.InfDuration, stats.InfDuration
+	}
+	estimate := stats.DurationPercentile(samples, pct)
+	if estimate == stats.InfDuration {
+		return stats.InfDuration, stats.InfDuration
+	}
+	bonus := time.Duration(float64(c) * math.Sqrt(math.Log(float64(n))/(2*float64(n))))
+	lcb = estimate - bonus
+	if lcb < 0 {
+		lcb = 0
+	}
+	return lcb, estimate + bonus
+}
+
+// UCBEvict applies §4.2.2's rule to a set of per-neighbor confidence
+// intervals: if max lcb > min ucb, the neighbor attaining the max lcb is
+// evicted. It returns that neighbor's index, or -1 when no interval
+// separation exists. Ties break toward the lower index.
+func UCBEvict(lcbs, ucbs []time.Duration) int {
+	if len(lcbs) == 0 || len(lcbs) != len(ucbs) {
+		return -1
+	}
+	maxL, argMax := lcbs[0], 0
+	minU := ucbs[0]
+	for i := 1; i < len(lcbs); i++ {
+		if lcbs[i] > maxL {
+			maxL, argMax = lcbs[i], i
+		}
+		if ucbs[i] < minU {
+			minU = ucbs[i]
+		}
+	}
+	if maxL > minU {
+		return argMax
+	}
+	return -1
+}

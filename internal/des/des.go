@@ -1,0 +1,116 @@
+// Package des implements a deterministic discrete-event simulation engine:
+// a virtual clock plus a binary-heap scheduler with FIFO tie-breaking.
+//
+// The engine is deliberately minimal — events are plain closures — because
+// every simulation layer above it (block broadcast, bandwidth serialization,
+// churn) composes its own state machines out of scheduled callbacks.
+// Determinism is a hard requirement for reproducing the paper's figures:
+// two events scheduled for the same instant always fire in the order they
+// were scheduled.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Scheduler is a discrete-event scheduler. The zero value is ready to use,
+// starting at virtual time zero.
+type Scheduler struct {
+	now    time.Duration
+	queue  eventHeap
+	nextID uint64
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Pending returns the number of events waiting to fire.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// is a programming error and is reported rather than silently reordered.
+func (s *Scheduler) At(t time.Duration, fn func()) error {
+	if t < s.now {
+		return fmt.Errorf("des: schedule at %v before now %v", t, s.now)
+	}
+	if fn == nil {
+		return fmt.Errorf("des: nil event function")
+	}
+	heap.Push(&s.queue, event{at: t, seq: s.nextID, fn: fn})
+	s.nextID++
+	return nil
+}
+
+// After schedules fn to run d after the current virtual time. Negative
+// delays are rejected.
+func (s *Scheduler) After(d time.Duration, fn func()) error {
+	if d < 0 {
+		return fmt.Errorf("des: negative delay %v", d)
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Step fires the single earliest pending event, advancing the clock to its
+// timestamp. It reports whether an event fired.
+func (s *Scheduler) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(event)
+	s.now = e.at
+	e.fn()
+	return true
+}
+
+// Run fires events until none remain.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil fires all events with timestamp <= deadline, then advances the
+// clock to the deadline. Events scheduled beyond the deadline stay pending.
+func (s *Scheduler) RunUntil(deadline time.Duration) {
+	for len(s.queue) > 0 && s.queue[0].at <= deadline {
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Reset discards pending events and rewinds the clock to zero, allowing a
+// Scheduler (and the allocations backing its heap) to be reused across
+// simulation runs.
+func (s *Scheduler) Reset() {
+	s.now = 0
+	s.queue = s.queue[:0]
+	s.nextID = 0
+}

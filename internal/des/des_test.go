@@ -1,0 +1,194 @@
+package des
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	var s Scheduler
+	var fired []time.Duration
+	times := []time.Duration{5, 1, 3, 2, 4}
+	for _, at := range times {
+		at := at
+		if err := s.At(at, func() { fired = append(fired, at) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	if len(fired) != len(times) {
+		t.Fatalf("fired %d events, want %d", len(fired), len(times))
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i-1] > fired[i] {
+			t.Fatalf("events out of order: %v", fired)
+		}
+	}
+	if s.Now() != 5 {
+		t.Fatalf("clock = %v, want 5", s.Now())
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	var s Scheduler
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if err := s.At(7, func() { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("tie broken out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestSchedulingInPastRejected(t *testing.T) {
+	var s Scheduler
+	if err := s.At(10, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if err := s.At(5, func() {}); err == nil {
+		t.Fatal("expected error scheduling in the past")
+	}
+	if err := s.After(-time.Second, func() {}); err == nil {
+		t.Fatal("expected error for negative delay")
+	}
+	if err := s.At(20, nil); err == nil {
+		t.Fatal("expected error for nil function")
+	}
+}
+
+func TestAfterUsesCurrentTime(t *testing.T) {
+	var s Scheduler
+	var at time.Duration
+	if err := s.At(10, func() {
+		if err := s.After(5, func() { at = s.Now() }); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if at != 15 {
+		t.Fatalf("nested After fired at %v, want 15", at)
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	var s Scheduler
+	count := 0
+	var chain func()
+	chain = func() {
+		count++
+		if count < 100 {
+			if err := s.After(1, chain); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	if err := s.At(0, chain); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if count != 100 {
+		t.Fatalf("chain fired %d times, want 100", count)
+	}
+	if s.Now() != 99 {
+		t.Fatalf("clock = %v, want 99", s.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var s Scheduler
+	fired := map[time.Duration]bool{}
+	for _, at := range []time.Duration{1, 2, 3, 10, 20} {
+		at := at
+		if err := s.At(at, func() { fired[at] = true }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.RunUntil(5)
+	if !fired[1] || !fired[2] || !fired[3] {
+		t.Fatal("events before deadline did not fire")
+	}
+	if fired[10] || fired[20] {
+		t.Fatal("events after deadline fired early")
+	}
+	if s.Now() != 5 {
+		t.Fatalf("clock = %v, want 5", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", s.Pending())
+	}
+	s.Run()
+	if !fired[10] || !fired[20] {
+		t.Fatal("remaining events did not fire on Run")
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	var s Scheduler
+	if s.Step() {
+		t.Fatal("Step on empty scheduler returned true")
+	}
+}
+
+func TestReset(t *testing.T) {
+	var s Scheduler
+	if err := s.At(100, func() { t.Error("stale event fired after Reset") }); err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	if s.Pending() != 0 || s.Now() != 0 {
+		t.Fatalf("after reset: pending=%d now=%v", s.Pending(), s.Now())
+	}
+	ran := false
+	if err := s.At(1, func() { ran = true }); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if !ran {
+		t.Fatal("event after reset did not run")
+	}
+}
+
+// Property: for any multiset of schedule times, execution order is the
+// sorted order, with FIFO among equal times.
+func TestOrderProperty(t *testing.T) {
+	check := func(raw []uint16) bool {
+		var s Scheduler
+		type stamp struct {
+			at  time.Duration
+			seq int
+		}
+		var fired []stamp
+		for i, v := range raw {
+			at := time.Duration(v)
+			i := i
+			if err := s.At(at, func() { fired = append(fired, stamp{at, i}) }); err != nil {
+				return false
+			}
+		}
+		s.Run()
+		if len(fired) != len(raw) {
+			return false
+		}
+		sorted := sort.SliceIsSorted(fired, func(i, j int) bool {
+			if fired[i].at != fired[j].at {
+				return fired[i].at < fired[j].at
+			}
+			return fired[i].seq < fired[j].seq
+		})
+		return sorted
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

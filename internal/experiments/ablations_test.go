@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationsRegistered(t *testing.T) {
+	for _, ab := range Ablations() {
+		brief, err := Describe(ab.ID)
+		if err != nil {
+			t.Fatalf("%s not registered: %v", ab.ID, err)
+		}
+		if brief != ab.Title {
+			t.Fatalf("%s brief mismatch", ab.ID)
+		}
+		if len(ab.Variants) < 2 {
+			t.Fatalf("%s has %d variants, want >= 2", ab.ID, len(ab.Variants))
+		}
+	}
+}
+
+func TestAblationLabelsDistinct(t *testing.T) {
+	for _, ab := range Ablations() {
+		seen := map[string]bool{}
+		for _, v := range ab.Variants {
+			if v.Label == "" {
+				t.Fatalf("%s has an unlabeled variant", ab.ID)
+			}
+			if seen[v.Label] {
+				t.Fatalf("%s repeats label %q", ab.ID, v.Label)
+			}
+			seen[v.Label] = true
+		}
+	}
+}
+
+func TestAblationExplorationRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweep")
+	}
+	opt := tinyOptions()
+	opt.Nodes = 100
+	opt.Rounds = 4
+	opt.RoundBlocks = 25
+	res, err := RunAblation(opt, AblationExploration())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// random baseline + 4 variants
+	if len(res.Series) != 5 {
+		t.Fatalf("got %d series, want 5", len(res.Series))
+	}
+	if _, err := res.SeriesByLabel("explore=2"); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Notes) != 4 {
+		t.Fatalf("got %d notes, want 4", len(res.Notes))
+	}
+	out := res.Render()
+	if !strings.Contains(out, "explore=0") || !strings.Contains(out, "random") {
+		t.Fatalf("render incomplete:\n%s", out)
+	}
+}
+
+func TestAblationValidationModelShowsHeterogeneityEffect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweep")
+	}
+	opt := ShortOptions()
+	opt.Rounds = 8
+	res, err := RunAblation(opt, AblationValidationModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := res.SeriesByLabel("fixed-50ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hetero, err := res.SeriesByLabel("exp-mean-50ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both must beat nothing in absolute terms; the interesting check is
+	// that both configurations produce sane, finite curves.
+	if fixed.Median() <= 0 || hetero.Median() <= 0 {
+		t.Fatalf("degenerate medians: fixed=%v hetero=%v", fixed.Median(), hetero.Median())
+	}
+	t.Logf("fixed median %.0f ms, heterogeneous median %.0f ms", fixed.Median(), hetero.Median())
+}
+
+func TestAblationUCBConstantRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweep")
+	}
+	opt := tinyOptions()
+	opt.Nodes = 100
+	opt.Rounds = 2
+	opt.RoundBlocks = 25 // 50 single-block UCB rounds per variant
+	res, err := RunAblation(opt, AblationUCBConstant())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 5 {
+		t.Fatalf("got %d series, want 5", len(res.Series))
+	}
+}
+
+func TestRunAblationViaDispatcher(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweep")
+	}
+	opt := tinyOptions()
+	opt.Nodes = 100
+	opt.Rounds = 3
+	opt.RoundBlocks = 20
+	res, err := Run("ablation-roundlength", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "ablation-roundlength" {
+		t.Fatalf("wrong ID %s", res.ID)
+	}
+}

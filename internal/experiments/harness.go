@@ -1,0 +1,381 @@
+// Package experiments reproduces every figure of the paper's evaluation
+// (§5): one runner per figure, shared trial machinery, and text rendering
+// of the series the paper plots. DESIGN.md carries the experiment index
+// mapping figure IDs to these runners.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/perigee-net/perigee/internal/core"
+	"github.com/perigee-net/perigee/internal/geo"
+	"github.com/perigee-net/perigee/internal/hashpower"
+	"github.com/perigee-net/perigee/internal/latency"
+	"github.com/perigee-net/perigee/internal/netsim"
+	"github.com/perigee-net/perigee/internal/rng"
+	"github.com/perigee-net/perigee/internal/stats"
+	"github.com/perigee-net/perigee/internal/topology"
+)
+
+// Options configure an experiment run. The zero value is not valid; use
+// DefaultOptions (paper scale) or ShortOptions (CI scale).
+type Options struct {
+	// Nodes is the network size (paper: 1000).
+	Nodes int
+	// Trials is the number of independent repetitions with re-sampled link
+	// latencies (paper: 3).
+	Trials int
+	// Rounds is the number of Perigee rounds for Vanilla/Subset; UCB runs
+	// Rounds*RoundBlocks single-block rounds so every variant sees the
+	// same number of blocks.
+	Rounds int
+	// RoundBlocks is |B| for Vanilla/Subset (paper: 100).
+	RoundBlocks int
+	// Fraction is the hash-power coverage defining λ_v (paper: 0.9).
+	Fraction float64
+	// Seed roots all randomness.
+	Seed uint64
+	// MeanValidation is the mean per-node block validation delay
+	// (paper: 50 ms).
+	MeanValidation time.Duration
+	// Validation selects how per-node validation delays are drawn.
+	Validation ValidationModel
+}
+
+// ValidationModel selects the per-node validation delay distribution.
+type ValidationModel int
+
+const (
+	// ValidationFixed gives every node exactly MeanValidation, the paper's
+	// §5 setting ("each node has a mean block processing time of 50 ms").
+	// With a common processing time, Figure 4(a)'s trend emerges: as
+	// validation dominates, hop count dictates delay and Perigee's
+	// advantage over random vanishes.
+	ValidationFixed ValidationModel = iota
+	// ValidationExponential draws each node's delay from Exponential(mean)
+	// — the heterogeneous-processing-power extension motivated in §1.
+	// Perigee additionally learns to route around slow validators, so its
+	// advantage grows (rather than shrinks) with the validation scale; the
+	// ablation bench quantifies this.
+	ValidationExponential
+)
+
+// DefaultOptions mirrors the paper's evaluation scale.
+func DefaultOptions() Options {
+	return Options{
+		Nodes:          1000,
+		Trials:         3,
+		Rounds:         30,
+		RoundBlocks:    100,
+		Fraction:       0.9,
+		Seed:           2020,
+		MeanValidation: 50 * time.Millisecond,
+	}
+}
+
+// ShortOptions is a scaled-down configuration for tests and quick smoke
+// runs. 300 nodes is the smallest scale at which all of the paper's
+// qualitative orderings (including geographic < random) manifest reliably.
+func ShortOptions() Options {
+	return Options{
+		Nodes:          300,
+		Trials:         1,
+		Rounds:         10,
+		RoundBlocks:    50,
+		Fraction:       0.9,
+		Seed:           2020,
+		MeanValidation: 50 * time.Millisecond,
+	}
+}
+
+func (o Options) validate() error {
+	if o.Nodes < 20 {
+		return fmt.Errorf("experiments: need at least 20 nodes, got %d", o.Nodes)
+	}
+	if o.Trials <= 0 {
+		return fmt.Errorf("experiments: trials %d must be positive", o.Trials)
+	}
+	if o.Rounds <= 0 {
+		return fmt.Errorf("experiments: rounds %d must be positive", o.Rounds)
+	}
+	if o.RoundBlocks <= 0 {
+		return fmt.Errorf("experiments: round blocks %d must be positive", o.RoundBlocks)
+	}
+	if o.Fraction <= 0 || o.Fraction > 1 {
+		return fmt.Errorf("experiments: fraction %v outside (0, 1]", o.Fraction)
+	}
+	if o.MeanValidation < 0 {
+		return fmt.Errorf("experiments: negative validation delay %v", o.MeanValidation)
+	}
+	return nil
+}
+
+// Series is one curve of a figure: per-node-rank delays (ms, ascending)
+// aggregated across trials.
+type Series struct {
+	// Label names the algorithm as in the paper's legend.
+	Label string
+	// Mean[i] is the i-th smallest per-source delay (ms), averaged over
+	// trials.
+	Mean []float64
+	// Std[i] is the cross-trial standard deviation at rank i (zero with
+	// one trial).
+	Std []float64
+}
+
+// Median returns the series' middle value, the figure's headline number.
+func (s Series) Median() float64 {
+	return stats.Percentile(s.Mean, 0.5)
+}
+
+// Result is the output of one experiment.
+type Result struct {
+	// ID is the experiment identifier ("figure3a", ...).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Series holds one curve per algorithm.
+	Series []Series
+	// Notes carries derived observations (improvement ratios etc.).
+	Notes []string
+	// Histograms (Figure 5 only) maps algorithm label to its converged
+	// edge-latency histogram.
+	Histograms map[string]*stats.Histogram
+	// Options echoes the configuration that produced the result.
+	Options Options
+}
+
+// SeriesByLabel returns the named series or an error.
+func (r *Result) SeriesByLabel(label string) (Series, error) {
+	for _, s := range r.Series {
+		if s.Label == label {
+			return s, nil
+		}
+	}
+	return Series{}, fmt.Errorf("experiments: no series %q in %s", label, r.ID)
+}
+
+// env bundles one trial's sampled network.
+type env struct {
+	opt      Options
+	universe *geo.Universe
+	lat      latency.Model
+	forward  []time.Duration
+	power    []float64
+	root     *rng.RNG
+	pinned   [][2]int
+	frozen   []bool
+}
+
+// newEnv samples a trial environment: universe, per-trial link latencies,
+// per-node validation delays, and hash power (uniform unless the caller
+// overrides it afterwards).
+func newEnv(opt Options, trial int) (*env, error) {
+	root := rng.New(opt.Seed).DeriveIndexed("trial", trial)
+	universe, err := geo.SampleUniverse(opt.Nodes, root.Derive("universe"))
+	if err != nil {
+		return nil, err
+	}
+	lat, err := latency.NewGeographic(universe, root.Derive("latency"))
+	if err != nil {
+		return nil, err
+	}
+	power, err := hashpower.Uniform(opt.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	e := &env{
+		opt:      opt,
+		universe: universe,
+		lat:      lat,
+		power:    power,
+		root:     root,
+		forward:  sampleForward(opt.Nodes, opt.MeanValidation, opt.Validation, root.Derive("forward")),
+	}
+	return e, nil
+}
+
+// sampleForward draws per-node validation delays according to the chosen
+// model.
+func sampleForward(n int, mean time.Duration, model ValidationModel, r *rng.RNG) []time.Duration {
+	out := make([]time.Duration, n)
+	if mean == 0 {
+		return out
+	}
+	for i := range out {
+		switch model {
+		case ValidationExponential:
+			out[i] = time.Duration(r.ExpFloat64() * float64(mean))
+		default:
+			out[i] = mean
+		}
+	}
+	return out
+}
+
+// scaleForward returns a copy of ds with every element multiplied by f.
+func scaleForward(ds []time.Duration, f float64) []time.Duration {
+	out := make([]time.Duration, len(ds))
+	for i, d := range ds {
+		out[i] = time.Duration(float64(d) * f)
+	}
+	return out
+}
+
+// delaysToSortedMs converts per-source λ values to an ascending ms series
+// (the paper plots nodes in ascending delay order).
+func delaysToSortedMs(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		if d == stats.InfDuration {
+			out[i] = math.Inf(1)
+		} else {
+			out[i] = float64(d) / float64(time.Millisecond)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// evalTopology computes λ_v for every node over a static communication
+// graph (plus the env's pinned edges).
+func (e *env) evalTopology(tbl *topology.Table) ([]float64, error) {
+	adj := topology.MergeAdjacency(tbl.Undirected(), e.pinned)
+	sim, err := netsim.New(netsim.Config{Adj: adj, Latency: e.lat, Forward: e.forward})
+	if err != nil {
+		return nil, err
+	}
+	delays := make([]time.Duration, e.opt.Nodes)
+	for src := 0; src < e.opt.Nodes; src++ {
+		arrival, err := sim.ArrivalAnalytic(src)
+		if err != nil {
+			return nil, err
+		}
+		delays[src], err = netsim.DelayToFraction(arrival, e.power, e.opt.Fraction)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return delaysToSortedMs(delays), nil
+}
+
+// evalIdeal computes λ_v on the fully-connected lower bound: one hop from
+// the source to everyone.
+func (e *env) evalIdeal() ([]float64, error) {
+	delays := make([]time.Duration, e.opt.Nodes)
+	for src := 0; src < e.opt.Nodes; src++ {
+		arrival := netsim.IdealArrival(e.lat, src)
+		var err error
+		delays[src], err = netsim.DelayToFraction(arrival, e.power, e.opt.Fraction)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return delaysToSortedMs(delays), nil
+}
+
+// buildRandom seeds the standard random topology for this environment.
+func (e *env) buildRandom(label string) (*topology.Table, error) {
+	return topology.Random(e.opt.Nodes, 8, 20, e.root.Derive("random-topology-"+label))
+}
+
+// runPerigee seeds a random topology, runs the protocol to convergence,
+// and returns the final sorted delay series along with the engine (for
+// graph inspection, e.g. Figure 5).
+func (e *env) runPerigee(method core.Method) ([]float64, *core.Engine, error) {
+	tbl, err := e.buildRandom(method.String())
+	if err != nil {
+		return nil, nil, err
+	}
+	params := core.DefaultParams(method)
+	rounds := e.opt.Rounds
+	if method == core.UCB {
+		// Same block budget as the |B|-block variants.
+		rounds = e.opt.Rounds * e.opt.RoundBlocks
+	} else {
+		params.RoundBlocks = e.opt.RoundBlocks
+	}
+	engine, err := core.NewEngine(core.Config{
+		Method:  method,
+		Params:  params,
+		Table:   tbl,
+		Latency: e.lat,
+		Forward: e.forward,
+		Power:   e.power,
+		Pinned:  e.pinned,
+		Frozen:  e.frozen,
+		Rand:    e.root.Derive("engine-" + method.String()),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := engine.Run(rounds); err != nil {
+		return nil, nil, err
+	}
+	delays, err := engine.Delays(e.opt.Fraction, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return delaysToSortedMs(delays), engine, nil
+}
+
+// aggregate folds per-trial series into a Series with cross-trial error
+// bars.
+func aggregate(label string, trials [][]float64) (Series, error) {
+	mean, std, err := stats.AggregateSeries(trials)
+	if err != nil {
+		return Series{}, fmt.Errorf("aggregating %s: %w", label, err)
+	}
+	return Series{Label: label, Mean: mean, Std: std}, nil
+}
+
+// algo is one curve of a figure: a label and the function producing its
+// per-trial sorted delay series.
+type algo struct {
+	label string
+	run   func(e *env) ([]float64, error)
+}
+
+// runFigure executes the standard figure protocol: for each trial, sample
+// one environment, apply the figure-specific setup (power distribution,
+// latency overrides, pinned relay edges, ...), then run every algorithm on
+// that same network — exactly how the paper compares curves.
+func runFigure(opt Options, id, title string, setup func(*env) error, algos []algo) (*Result, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	perAlgo := make([][][]float64, len(algos))
+	for i := range perAlgo {
+		perAlgo[i] = make([][]float64, opt.Trials)
+	}
+	for t := 0; t < opt.Trials; t++ {
+		e, err := newEnv(opt, t)
+		if err != nil {
+			return nil, err
+		}
+		if setup != nil {
+			if err := setup(e); err != nil {
+				return nil, fmt.Errorf("experiments: %s trial %d setup: %w", id, t, err)
+			}
+		}
+		for i, a := range algos {
+			series, err := a.run(e)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s trial %d algo %s: %w", id, t, a.label, err)
+			}
+			perAlgo[i][t] = series
+		}
+	}
+	res := &Result{ID: id, Title: title, Options: opt}
+	for i, a := range algos {
+		s, err := aggregate(a.label, perAlgo[i])
+		if err != nil {
+			return nil, err
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// registry maps experiment IDs to their runners.
+var registry = buildRegistry()
+
+type registryEntry struct {
+	run   func(Options) (*Result, error)
+	brief string
+}
+
+func buildRegistry() map[string]registryEntry {
+	reg := map[string]registryEntry{
+		"figure1":  {Figure1, "path stretch on the unit square: random vs geometric"},
+		"figure3a": {Figure3a, "delay to 90% hash power, uniform power, all algorithms"},
+		"figure3b": {Figure3b, "delay to 90% hash power, exponential power"},
+		"figure4a": {Figure4a, "validation-delay sweep 0.1x-10x"},
+		"figure4b": {Figure4b, "mining pools: 10% of nodes hold 90% power"},
+		"figure4c": {Figure4c, "fast relay tree embedded in the network"},
+		"figure5":  {Figure5, "edge-latency histograms of converged graphs"},
+		"theorem1": {Theorem1, "random-graph stretch grows with n"},
+		"theorem2": {Theorem2, "geometric-graph stretch is constant in n"},
+
+		// Extensions beyond the paper's published evaluation (§6 topics).
+		"freeride":    {Freeride, "incentives: free-riding nodes get punished"},
+		"churn":       {Churn, "membership churn: 5% of nodes replaced per round"},
+		"bandwidth":   {Bandwidth, "upload bandwidth heterogeneity (serialized sends)"},
+		"eclipse":     {Eclipse, "neighborhood capture by fast adversaries vs exploration"},
+		"convergence": {Convergence, "per-round 90%/50% coverage delay trajectories (§5.2)"},
+	}
+	for _, ab := range Ablations() {
+		ab := ab
+		reg[ab.ID] = registryEntry{
+			run:   func(opt Options) (*Result, error) { return RunAblation(opt, ab) },
+			brief: ab.Title,
+		}
+	}
+	return reg
+}
+
+// IDs lists the available experiment identifiers, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe returns a one-line description of an experiment ID.
+func Describe(id string) (string, error) {
+	entry, ok := registry[id]
+	if !ok {
+		return "", fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
+	}
+	return entry.brief, nil
+}
+
+// Run dispatches an experiment by ID.
+func Run(id string, opt Options) (*Result, error) {
+	entry, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
+	}
+	return entry.run(opt)
+}
+
+// RenderRanks are the fractional node ranks at which tables are printed,
+// mirroring the paper's error-bar positions (100th..900th node of 1000).
+var RenderRanks = []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+
+// Render formats the result as a text report: one row per rank, one column
+// per algorithm, mean±std, followed by notes and histograms.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", r.Title)
+	fmt.Fprintf(&b, "(nodes=%d trials=%d rounds=%d seed=%d)\n",
+		r.Options.Nodes, r.Options.Trials, r.Options.Rounds, r.Options.Seed)
+	if len(r.Series) > 0 {
+		b.WriteString(r.renderTable())
+	}
+	if r.Histograms != nil {
+		for _, label := range sortedHistogramLabels(r) {
+			fmt.Fprintf(&b, "\n-- %s edge-latency histogram (ms) --\n", label)
+			b.WriteString(r.Histograms[label].Render(40))
+		}
+	}
+	for _, note := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", note)
+	}
+	return b.String()
+}
+
+func (r *Result) renderTable() string {
+	var b strings.Builder
+	// Header.
+	fmt.Fprintf(&b, "%-8s", "rank")
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, " %20s", s.Label)
+	}
+	b.WriteString("\n")
+	n := 0
+	if len(r.Series) > 0 {
+		n = len(r.Series[0].Mean)
+	}
+	for _, frac := range RenderRanks {
+		idx := int(frac * float64(n))
+		if idx >= n {
+			idx = n - 1
+		}
+		if idx < 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-8d", idx)
+		for _, s := range r.Series {
+			if idx >= len(s.Mean) {
+				fmt.Fprintf(&b, " %20s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, " %20s", formatCell(s.Mean[idx], s.Std[idx]))
+		}
+		b.WriteString("\n")
+	}
+	// Median row.
+	fmt.Fprintf(&b, "%-8s", "median")
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, " %20s", formatCell(s.Median(), 0))
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+func formatCell(mean, std float64) string {
+	if math.IsInf(mean, 1) {
+		return "inf"
+	}
+	if std > 0 {
+		return fmt.Sprintf("%.1f±%.1f", mean, std)
+	}
+	return fmt.Sprintf("%.1f", mean)
+}
+
+func sortedHistogramLabels(r *Result) []string {
+	labels := make([]string, 0, len(r.Histograms))
+	for label := range r.Histograms {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	return labels
+}

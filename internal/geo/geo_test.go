@@ -1,0 +1,160 @@
+package geo
+
+import (
+	"math"
+	"testing"
+
+	"github.com/perigee-net/perigee/internal/rng"
+)
+
+func TestRegionString(t *testing.T) {
+	if NorthAmerica.String() != "NorthAmerica" {
+		t.Fatalf("got %q", NorthAmerica.String())
+	}
+	if Oceania.String() != "Oceania" {
+		t.Fatalf("got %q", Oceania.String())
+	}
+	if Region(200).String() != "Region(200)" {
+		t.Fatalf("got %q", Region(200).String())
+	}
+}
+
+func TestRegionValid(t *testing.T) {
+	for r := Region(0); r < Region(NumRegions); r++ {
+		if !r.Valid() {
+			t.Fatalf("region %v should be valid", r)
+		}
+	}
+	if Region(NumRegions).Valid() {
+		t.Fatal("out-of-range region reported valid")
+	}
+}
+
+func TestNewUniverse(t *testing.T) {
+	u, err := NewUniverse([]Region{Europe, Asia, Europe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.N() != 3 {
+		t.Fatalf("N = %d", u.N())
+	}
+	if u.Region(1) != Asia {
+		t.Fatalf("Region(1) = %v", u.Region(1))
+	}
+	if !u.SameRegion(0, 2) || u.SameRegion(0, 1) {
+		t.Fatal("SameRegion incorrect")
+	}
+}
+
+func TestNewUniverseRejectsInvalid(t *testing.T) {
+	if _, err := NewUniverse(nil); err == nil {
+		t.Fatal("expected error for empty universe")
+	}
+	if _, err := NewUniverse([]Region{Europe, Region(99)}); err == nil {
+		t.Fatal("expected error for invalid region")
+	}
+}
+
+func TestNewUniverseCopiesInput(t *testing.T) {
+	in := []Region{Europe, Asia}
+	u, err := NewUniverse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in[0] = China
+	if u.Region(0) != Europe {
+		t.Fatal("universe aliases caller slice")
+	}
+}
+
+func TestSampleUniverseDistribution(t *testing.T) {
+	r := rng.New(1)
+	const n = 50000
+	u, err := SampleUniverse(n, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := u.CountByRegion()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("counts sum to %d, want %d", total, n)
+	}
+	for reg, want := range DefaultWeights {
+		got := float64(counts[reg]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("%v: frequency %.3f, want ~%.3f", Region(reg), got, want)
+		}
+	}
+}
+
+func TestSampleUniverseDeterministic(t *testing.T) {
+	a, err := SampleUniverse(100, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SampleUniverse(100, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if a.Region(i) != b.Region(i) {
+			t.Fatalf("node %d: %v != %v", i, a.Region(i), b.Region(i))
+		}
+	}
+}
+
+func TestSampleUniverseWeightsErrors(t *testing.T) {
+	r := rng.New(1)
+	if _, err := SampleUniverseWeights(0, DefaultWeights[:], r); err == nil {
+		t.Fatal("expected error for n=0")
+	}
+	if _, err := SampleUniverseWeights(10, []float64{1, 2}, r); err == nil {
+		t.Fatal("expected error for wrong weight count")
+	}
+	bad := make([]float64, NumRegions)
+	bad[0] = -1
+	if _, err := SampleUniverseWeights(10, bad, r); err == nil {
+		t.Fatal("expected error for negative weight")
+	}
+	zero := make([]float64, NumRegions)
+	if _, err := SampleUniverseWeights(10, zero, r); err == nil {
+		t.Fatal("expected error for all-zero weights")
+	}
+}
+
+func TestSampleUniverseSingleRegion(t *testing.T) {
+	w := make([]float64, NumRegions)
+	w[China] = 5
+	u, err := SampleUniverseWeights(500, w, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < u.N(); i++ {
+		if u.Region(i) != China {
+			t.Fatalf("node %d in %v, want China", i, u.Region(i))
+		}
+	}
+}
+
+func TestNodesInRegion(t *testing.T) {
+	u, err := NewUniverse([]Region{Europe, Asia, Europe, China, Europe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := u.NodesInRegion(Europe)
+	want := []int{0, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if u.NodesInRegion(Africa) != nil {
+		t.Fatal("expected no nodes in Africa")
+	}
+}

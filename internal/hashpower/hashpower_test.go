@@ -1,0 +1,234 @@
+package hashpower
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/perigee-net/perigee/internal/rng"
+)
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func TestUniform(t *testing.T) {
+	p, err := Uniform(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range p {
+		if x != 0.25 {
+			t.Fatalf("power = %v, want 0.25", x)
+		}
+	}
+	if _, err := Uniform(0); err == nil {
+		t.Fatal("expected error for n=0")
+	}
+}
+
+func TestExponentialNormalized(t *testing.T) {
+	p, err := Exponential(1000, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sum(p)-1) > 1e-9 {
+		t.Fatalf("sum = %v, want 1", sum(p))
+	}
+	for i, x := range p {
+		if x < 0 {
+			t.Fatalf("node %d has negative power %v", i, x)
+		}
+	}
+	// Exponential power should be skewed: the max should be well above 1/n.
+	maxP := 0.0
+	for _, x := range p {
+		if x > maxP {
+			maxP = x
+		}
+	}
+	if maxP < 3.0/1000 {
+		t.Fatalf("max power %v suspiciously flat for exponential", maxP)
+	}
+}
+
+func TestExponentialErrors(t *testing.T) {
+	if _, err := Exponential(0, rng.New(1)); err == nil {
+		t.Fatal("expected error for n=0")
+	}
+	if _, err := Exponential(10, nil); err == nil {
+		t.Fatal("expected error for nil rng")
+	}
+}
+
+func TestPools(t *testing.T) {
+	power, miners, err := Pools(1000, 0.1, 0.9, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(miners) != 100 {
+		t.Fatalf("got %d miners, want 100", len(miners))
+	}
+	if math.Abs(sum(power)-1) > 1e-9 {
+		t.Fatalf("sum = %v", sum(power))
+	}
+	minerSet := make(map[int]bool, len(miners))
+	var minerPower float64
+	for _, m := range miners {
+		minerSet[m] = true
+		minerPower += power[m]
+	}
+	if math.Abs(minerPower-0.9) > 1e-9 {
+		t.Fatalf("miner power = %v, want 0.9", minerPower)
+	}
+	for i, p := range power {
+		if minerSet[i] {
+			if math.Abs(p-0.009) > 1e-12 {
+				t.Fatalf("miner %d power %v, want 0.009", i, p)
+			}
+		} else if math.Abs(p-0.1/900) > 1e-12 {
+			t.Fatalf("non-miner %d power %v, want %v", i, p, 0.1/900)
+		}
+	}
+}
+
+func TestPoolsMinersSorted(t *testing.T) {
+	_, miners, err := Pools(100, 0.2, 0.8, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(miners); i++ {
+		if miners[i-1] >= miners[i] {
+			t.Fatalf("miners not strictly sorted: %v", miners)
+		}
+	}
+}
+
+func TestPoolsAllMiners(t *testing.T) {
+	power, miners, err := Pools(10, 1.0, 0.9, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(miners) != 10 {
+		t.Fatalf("want all nodes as miners, got %d", len(miners))
+	}
+	if math.Abs(sum(power)-1) > 1e-9 {
+		t.Fatalf("sum = %v", sum(power))
+	}
+}
+
+func TestPoolsErrors(t *testing.T) {
+	r := rng.New(1)
+	if _, _, err := Pools(0, 0.1, 0.9, r); err == nil {
+		t.Fatal("expected error for n=0")
+	}
+	if _, _, err := Pools(10, 0, 0.9, r); err == nil {
+		t.Fatal("expected error for poolFrac=0")
+	}
+	if _, _, err := Pools(10, 1.5, 0.9, r); err == nil {
+		t.Fatal("expected error for poolFrac>1")
+	}
+	if _, _, err := Pools(10, 0.5, -0.1, r); err == nil {
+		t.Fatal("expected error for negative powerFrac")
+	}
+	if _, _, err := Pools(10, 0.5, 0.9, nil); err == nil {
+		t.Fatal("expected error for nil rng")
+	}
+}
+
+func TestSamplerMatchesWeights(t *testing.T) {
+	power := []float64{0.5, 0.3, 0.2}
+	s, err := NewSampler(power)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	counts := make([]int, 3)
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		counts[s.Sample(r)]++
+	}
+	for i, want := range power {
+		got := float64(counts[i]) / trials
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("node %d sampled %.3f, want ~%.3f", i, got, want)
+		}
+	}
+}
+
+func TestSamplerZeroPowerNeverSampled(t *testing.T) {
+	s, err := NewSampler([]float64{0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(6)
+	for i := 0; i < 1000; i++ {
+		if got := s.Sample(r); got != 1 {
+			t.Fatalf("sampled zero-power node %d", got)
+		}
+	}
+}
+
+func TestSamplerUnnormalizedInput(t *testing.T) {
+	s, err := NewSampler([]float64{2, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+	counts := make([]int, 3)
+	for i := 0; i < 40000; i++ {
+		counts[s.Sample(r)]++
+	}
+	if math.Abs(float64(counts[2])/40000-0.5) > 0.02 {
+		t.Fatalf("node 2 sampled %.3f, want ~0.5", float64(counts[2])/40000)
+	}
+}
+
+func TestSamplerErrors(t *testing.T) {
+	if _, err := NewSampler(nil); err == nil {
+		t.Fatal("expected error for empty power")
+	}
+	if _, err := NewSampler([]float64{0.5, -0.5}); err == nil {
+		t.Fatal("expected error for negative power")
+	}
+	if _, err := NewSampler([]float64{0, 0}); err == nil {
+		t.Fatal("expected error for zero total")
+	}
+}
+
+// Property: sampler always returns a valid index with nonzero power.
+func TestSamplerRangeProperty(t *testing.T) {
+	r := rng.New(8)
+	check := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		power := make([]float64, len(raw))
+		var total float64
+		for i, v := range raw {
+			power[i] = float64(v)
+			total += power[i]
+		}
+		if total == 0 {
+			return true
+		}
+		s, err := NewSampler(power)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 50; i++ {
+			idx := s.Sample(r)
+			if idx < 0 || idx >= len(power) || power[idx] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

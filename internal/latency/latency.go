@@ -1,0 +1,367 @@
+// Package latency provides the point-to-point delay models of the paper's
+// network model (§2.1, §3.1):
+//
+//   - Geographic: a 7x7 inter-region one-way latency matrix in the spirit of
+//     the iPlane measurement dataset, with deterministic symmetric per-link
+//     jitter (the paper re-samples link latencies per trial).
+//   - Hypercube: nodes embedded uniformly in [0,1]^d with Euclidean
+//     distances as delays — the theoretical model behind Theorems 1 and 2.
+//   - Override: any base model with specific pairs pinned to new values,
+//     used for fast miner-to-miner links (Fig 4b) and relay trees (Fig 4c).
+//
+// All models are symmetric: Delay(u, v) == Delay(v, u).
+package latency
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/perigee-net/perigee/internal/geo"
+	"github.com/perigee-net/perigee/internal/rng"
+)
+
+// Model yields the constant one-way delay of sending a block between two
+// directly-connected nodes. Implementations must be symmetric and return
+// non-negative delays.
+type Model interface {
+	// Delay returns the one-way latency between nodes u and v.
+	Delay(u, v int) time.Duration
+	// N returns the number of nodes the model covers.
+	N() int
+}
+
+// regionCenters places each region's hub in a 2-dimensional latency space
+// (coordinates in milliseconds of one-way delay). Pairwise center
+// distances approximate published inter-continental one-way latencies
+// (iPlane / WonderNetwork style tables) up to 2D realizability.
+var regionCenters = [geo.NumRegions][2]float64{
+	geo.NorthAmerica: {0, 0},
+	geo.SouthAmerica: {25, 78},
+	geo.Europe:       {50, 0},
+	geo.Asia:         {135, 25},
+	geo.Africa:       {75, 55},
+	geo.China:        {120, -20},
+	geo.Oceania:      {150, 75},
+}
+
+// regionRadii is the scatter of a region's nodes around its hub, in ms.
+// Geographically larger/sparser regions spread wider.
+var regionRadii = [geo.NumRegions]float64{
+	geo.NorthAmerica: 25,
+	geo.SouthAmerica: 25,
+	geo.Europe:       15,
+	geo.Asia:         30,
+	geo.Africa:       30,
+	geo.China:        18,
+	geo.Oceania:      20,
+}
+
+// RegionCenter returns a region's hub coordinates in the latency plane (ms).
+func RegionCenter(r geo.Region) (x, y float64) {
+	c := regionCenters[r]
+	return c[0], c[1]
+}
+
+// RegionRadius returns a region's scatter radius in ms.
+func RegionRadius(r geo.Region) float64 { return regionRadii[r] }
+
+// Geographic models point-to-point latency with the paper's own
+// metric-embedding view (§3.1) made concrete: every node is embedded at
+// its region's hub plus a random in-region offset, and has an individual
+// last-mile access delay. The one-way latency between two nodes is
+//
+//	δ(u, v) = (‖pos_u − pos_v‖ + access_u + access_v) · jitter(u, v)
+//
+// which is symmetric, bimodal across region boundaries (Figure 5), and —
+// unlike a flat region matrix — heterogeneous within a region pair, the
+// structure Perigee exploits (nodes near hubs with fast access links make
+// better neighbors for everyone).
+type Geographic struct {
+	universe   *geo.Universe
+	jitter     float64
+	routeSigma float64
+	access     AccessProfile
+	stream     *rng.RNG
+	pos        [][2]float64
+	accessMs   []float64 // per node, ms
+}
+
+// AccessProfile describes the per-node last-mile delay distribution: a
+// fast majority (well-hosted servers near exchange points) and a slow
+// minority (consumer NAT, VPN, Tor — the node heterogeneity reported by
+// Bitcoin measurement studies and exploited by Perigee). A node is slow
+// with probability SlowFraction; fast nodes draw Exponential(FastMean),
+// slow nodes draw SlowBase + Exponential(SlowMean). All values in ms.
+type AccessProfile struct {
+	FastMean     float64
+	SlowFraction float64
+	SlowBase     float64
+	SlowMean     float64
+}
+
+// DefaultAccessProfile mirrors the skew of measured Bitcoin node
+// connectivity (bandwidths of 3–186 Mbps, proxied/VPN/Tor peers, and the
+// INV/GETDATA exchange paid on every hop): three quarters of nodes sit
+// within a few ms of their regional hub; a quarter are tens to hundreds of
+// ms behind slow access paths. Multi-hop routes through slow nodes pay
+// this cost repeatedly — the heterogeneity Perigee learns to avoid.
+func DefaultAccessProfile() AccessProfile {
+	return AccessProfile{FastMean: 4, SlowFraction: 0.25, SlowBase: 40, SlowMean: 80}
+}
+
+func (p AccessProfile) validate() error {
+	if p.FastMean < 0 || p.SlowBase < 0 || p.SlowMean < 0 {
+		return fmt.Errorf("latency: negative access parameter in %+v", p)
+	}
+	if p.SlowFraction < 0 || p.SlowFraction > 1 {
+		return fmt.Errorf("latency: slow fraction %v outside [0, 1]", p.SlowFraction)
+	}
+	return nil
+}
+
+// sample draws one node's access delay in ms.
+func (p AccessProfile) sample(r *rng.RNG) float64 {
+	if r.Float64() < p.SlowFraction {
+		return p.SlowBase + r.ExpFloat64()*p.SlowMean
+	}
+	return r.ExpFloat64() * p.FastMean
+}
+
+// GeographicOption customizes a Geographic model.
+type GeographicOption func(*Geographic)
+
+// WithJitter sets the relative uniform jitter amplitude applied
+// (symmetrically and deterministically) to each link; 0.1 means each
+// link's latency is scaled by a factor in [0.9, 1.1]. Default 0.1.
+func WithJitter(amplitude float64) GeographicOption {
+	return func(g *Geographic) { g.jitter = amplitude }
+}
+
+// WithRouteNoise sets σ of the per-link LogNormal(−σ²/2, σ) routing-
+// inefficiency factor. Internet latencies deviate multiplicatively from
+// clean metric embeddings (peering, indirect BGP routes, triangle-
+// inequality violations); a link is what it is until measured, which is
+// exactly the uncertainty Perigee's bandit exploration resolves. Default
+// 0.45; 0 disables.
+func WithRouteNoise(sigma float64) GeographicOption {
+	return func(g *Geographic) { g.routeSigma = sigma }
+}
+
+// WithAccessProfile overrides the last-mile delay distribution.
+func WithAccessProfile(p AccessProfile) GeographicOption {
+	return func(g *Geographic) { g.access = p }
+}
+
+// NewGeographic builds the model over a universe. The rng stream seeds
+// node positions, access delays, and per-link jitter; deriving a fresh
+// stream per trial reproduces the paper's "independently sampled link
+// latencies" across trials.
+func NewGeographic(u *geo.Universe, stream *rng.RNG, opts ...GeographicOption) (*Geographic, error) {
+	if u == nil {
+		return nil, fmt.Errorf("latency: nil universe")
+	}
+	if stream == nil {
+		return nil, fmt.Errorf("latency: nil rng stream")
+	}
+	g := &Geographic{
+		universe:   u,
+		jitter:     0.1,
+		routeSigma: 0.45,
+		access:     DefaultAccessProfile(),
+		stream:     stream,
+	}
+	for _, opt := range opts {
+		opt(g)
+	}
+	if g.jitter < 0 || g.jitter >= 1 {
+		return nil, fmt.Errorf("latency: jitter %v outside [0, 1)", g.jitter)
+	}
+	if g.routeSigma < 0 || g.routeSigma > 2 {
+		return nil, fmt.Errorf("latency: route noise sigma %v outside [0, 2]", g.routeSigma)
+	}
+	if err := g.access.validate(); err != nil {
+		return nil, err
+	}
+	n := u.N()
+	g.pos = make([][2]float64, n)
+	g.accessMs = make([]float64, n)
+	posStream := stream.Derive("positions")
+	accStream := stream.Derive("access")
+	for i := 0; i < n; i++ {
+		region := u.Region(i)
+		cx, cy := regionCenters[region][0], regionCenters[region][1]
+		radius := regionRadii[region]
+		// Uniform point in the region disk via rejection sampling.
+		var dx, dy float64
+		for {
+			dx = 2*posStream.Float64() - 1
+			dy = 2*posStream.Float64() - 1
+			if dx*dx+dy*dy <= 1 {
+				break
+			}
+		}
+		g.pos[i] = [2]float64{cx + dx*radius, cy + dy*radius}
+		g.accessMs[i] = g.access.sample(accStream)
+	}
+	return g, nil
+}
+
+// N implements Model.
+func (g *Geographic) N() int { return g.universe.N() }
+
+// Delay implements Model.
+func (g *Geographic) Delay(u, v int) time.Duration {
+	if u == v {
+		return 0
+	}
+	dx := g.pos[u][0] - g.pos[v][0]
+	dy := g.pos[u][1] - g.pos[v][1]
+	ms := math.Sqrt(dx*dx+dy*dy) + g.accessMs[u] + g.accessMs[v]
+	if g.jitter > 0 {
+		ms *= g.stream.PairJitter(u, v, g.jitter)
+	}
+	if g.routeSigma > 0 {
+		ms *= g.stream.PairLogNormal(u, v, g.routeSigma)
+	}
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// Position returns node i's embedded coordinates in the latency plane (ms).
+func (g *Geographic) Position(i int) (x, y float64) { return g.pos[i][0], g.pos[i][1] }
+
+// Access returns node i's last-mile access delay in ms.
+func (g *Geographic) Access(i int) float64 { return g.accessMs[i] }
+
+// Hypercube embeds n nodes uniformly at random in [0,1]^d and reports
+// scaled Euclidean distances, the metric-embedding model of §3.1.
+type Hypercube struct {
+	points [][]float64
+	scale  time.Duration
+}
+
+// NewHypercube samples n points in [0,1]^dim; a unit distance (the side of
+// the cube) corresponds to scale.
+func NewHypercube(n, dim int, scale time.Duration, stream *rng.RNG) (*Hypercube, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("latency: hypercube size %d must be positive", n)
+	}
+	if dim <= 0 {
+		return nil, fmt.Errorf("latency: hypercube dimension %d must be positive", dim)
+	}
+	if scale <= 0 {
+		return nil, fmt.Errorf("latency: hypercube scale %v must be positive", scale)
+	}
+	if stream == nil {
+		return nil, fmt.Errorf("latency: nil rng stream")
+	}
+	points := make([][]float64, n)
+	backing := make([]float64, n*dim)
+	for i := range points {
+		points[i] = backing[i*dim : (i+1)*dim : (i+1)*dim]
+		for d := range points[i] {
+			points[i][d] = stream.Float64()
+		}
+	}
+	return &Hypercube{points: points, scale: scale}, nil
+}
+
+// N implements Model.
+func (h *Hypercube) N() int { return len(h.points) }
+
+// Delay implements Model.
+func (h *Hypercube) Delay(u, v int) time.Duration {
+	return time.Duration(h.Distance(u, v) * float64(h.scale))
+}
+
+// Distance returns the Euclidean distance between nodes u and v in the
+// embedded space (unscaled).
+func (h *Hypercube) Distance(u, v int) float64 {
+	var sum float64
+	pu, pv := h.points[u], h.points[v]
+	for d := range pu {
+		diff := pu[d] - pv[d]
+		sum += diff * diff
+	}
+	return math.Sqrt(sum)
+}
+
+// Point returns node i's embedded coordinates (not a copy; callers must not
+// mutate it).
+func (h *Hypercube) Point(i int) []float64 { return h.points[i] }
+
+// Dim returns the embedding dimension.
+func (h *Hypercube) Dim() int {
+	if len(h.points) == 0 {
+		return 0
+	}
+	return len(h.points[0])
+}
+
+// Override wraps a base model, pinning chosen pairs to explicit delays.
+type Override struct {
+	base      Model
+	overrides map[[2]int]time.Duration
+}
+
+// NewOverride wraps base with an initially-empty override set.
+func NewOverride(base Model) (*Override, error) {
+	if base == nil {
+		return nil, fmt.Errorf("latency: nil base model")
+	}
+	return &Override{base: base, overrides: make(map[[2]int]time.Duration)}, nil
+}
+
+func pairKey(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+// Set pins the delay between u and v (symmetrically).
+func (o *Override) Set(u, v int, d time.Duration) error {
+	if u == v {
+		return fmt.Errorf("latency: cannot override self-delay of node %d", u)
+	}
+	if u < 0 || v < 0 || u >= o.base.N() || v >= o.base.N() {
+		return fmt.Errorf("latency: override pair (%d, %d) outside universe of %d", u, v, o.base.N())
+	}
+	if d < 0 {
+		return fmt.Errorf("latency: negative delay %v", d)
+	}
+	o.overrides[pairKey(u, v)] = d
+	return nil
+}
+
+// Len returns the number of overridden pairs.
+func (o *Override) Len() int { return len(o.overrides) }
+
+// N implements Model.
+func (o *Override) N() int { return o.base.N() }
+
+// Delay implements Model.
+func (o *Override) Delay(u, v int) time.Duration {
+	if d, ok := o.overrides[pairKey(u, v)]; ok {
+		return d
+	}
+	return o.base.Delay(u, v)
+}
+
+// Constant is a model in which every distinct pair has the same delay;
+// useful in tests and as a degenerate baseline.
+type Constant struct {
+	Nodes int
+	D     time.Duration
+}
+
+// N implements Model.
+func (c Constant) N() int { return c.Nodes }
+
+// Delay implements Model.
+func (c Constant) Delay(u, v int) time.Duration {
+	if u == v {
+		return 0
+	}
+	return c.D
+}

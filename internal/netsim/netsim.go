@@ -1,0 +1,376 @@
+// Package netsim simulates block broadcast over a p2p topology following
+// the paper's network model (§2.1):
+//
+//   - when a node mines a block it immediately starts relaying it to every
+//     neighbor; sending over link (u, v) takes the constant δ(u, v) from the
+//     latency model;
+//   - a node that receives a block validates it for Δ_v before relaying it
+//     onward — to every neighbor, including the one it came from (that echo
+//     is the per-neighbor timestamp Perigee scores);
+//   - each directed edge therefore carries the block exactly once, and node
+//     v records, for each neighbor u, the local time t(u, v) at which u's
+//     copy arrived.
+//
+// Two equivalent computations are provided: an event-driven simulation on
+// the des engine (which also supports upload serialization) and an analytic
+// Dijkstra pass that produces only first-arrival times, used for fast
+// evaluation of the λ_v metric. Integration tests assert they agree.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/perigee-net/perigee/internal/des"
+	"github.com/perigee-net/perigee/internal/latency"
+	"github.com/perigee-net/perigee/internal/stats"
+	"github.com/perigee-net/perigee/internal/topology"
+)
+
+// Config describes one simulated network instance. The adjacency is the
+// undirected communication graph (outgoing ∪ incoming connections, plus any
+// pinned relay edges).
+type Config struct {
+	// Adj holds symmetric adjacency lists; Adj[v] must be ascending.
+	Adj [][]int
+	// Latency gives the per-link one-way delay δ(u, v).
+	Latency latency.Model
+	// Forward is the per-node validation/forwarding delay Δ_v applied
+	// before a received block is relayed onward. The block's miner pays no
+	// forwarding delay (it validated the block while mining it).
+	Forward []time.Duration
+	// SendInterval, if non-nil, serializes each node's uploads: when node v
+	// forwards a block, its i-th neighbor (adjacency order) is sent the
+	// block i*SendInterval[v] later. This models limited upload bandwidth
+	// (block size / uplink rate). A nil slice means all sends start
+	// simultaneously, the paper's default "small blocks" regime.
+	SendInterval []time.Duration
+	// Silent, if non-nil, marks free-riding nodes: they receive blocks but
+	// never relay them (the protocol deviation of §1 whose punishment by
+	// Perigee the incentive experiments measure). A silent source still
+	// announces its own blocks.
+	Silent []bool
+}
+
+// Simulator runs block broadcasts over a fixed Config, reusing internal
+// buffers across broadcasts.
+type Simulator struct {
+	cfg   Config
+	n     int
+	sched des.Scheduler
+
+	// revIndex[u][j] is the position of u in Adj[v]'s list where
+	// v = Adj[u][j]; it lets a sender record its announcement in the
+	// receiver's row without searching.
+	revIndex [][]int
+
+	// Scratch buffers, reused across Broadcast calls.
+	arrival     []time.Duration
+	edgeArrival [][]time.Duration
+}
+
+// New validates the config and builds a simulator. The adjacency must be
+// symmetric, self-loop free, ascending, and within range.
+func New(cfg Config) (*Simulator, error) {
+	n := len(cfg.Adj)
+	if n == 0 {
+		return nil, fmt.Errorf("netsim: empty adjacency")
+	}
+	if cfg.Latency == nil {
+		return nil, fmt.Errorf("netsim: nil latency model")
+	}
+	if cfg.Latency.N() < n {
+		return nil, fmt.Errorf("netsim: latency model covers %d nodes, topology has %d", cfg.Latency.N(), n)
+	}
+	if len(cfg.Forward) != n {
+		return nil, fmt.Errorf("netsim: forward delays cover %d nodes, want %d", len(cfg.Forward), n)
+	}
+	for v, d := range cfg.Forward {
+		if d < 0 {
+			return nil, fmt.Errorf("netsim: node %d has negative forward delay %v", v, d)
+		}
+	}
+	if cfg.SendInterval != nil {
+		if len(cfg.SendInterval) != n {
+			return nil, fmt.Errorf("netsim: send intervals cover %d nodes, want %d", len(cfg.SendInterval), n)
+		}
+		for v, d := range cfg.SendInterval {
+			if d < 0 {
+				return nil, fmt.Errorf("netsim: node %d has negative send interval %v", v, d)
+			}
+		}
+	}
+	if cfg.Silent != nil && len(cfg.Silent) != n {
+		return nil, fmt.Errorf("netsim: silent mask covers %d nodes, want %d", len(cfg.Silent), n)
+	}
+	for u, nbrs := range cfg.Adj {
+		if !sort.IntsAreSorted(nbrs) {
+			return nil, fmt.Errorf("netsim: adjacency of node %d is not ascending", u)
+		}
+		for i, v := range nbrs {
+			if v < 0 || v >= n {
+				return nil, fmt.Errorf("netsim: node %d lists out-of-range neighbor %d", u, v)
+			}
+			if v == u {
+				return nil, fmt.Errorf("netsim: node %d lists itself", u)
+			}
+			if i > 0 && nbrs[i-1] == v {
+				return nil, fmt.Errorf("netsim: node %d lists neighbor %d twice", u, v)
+			}
+		}
+	}
+	rev := make([][]int, n)
+	for u := 0; u < n; u++ {
+		rev[u] = make([]int, len(cfg.Adj[u]))
+		for j, v := range cfg.Adj[u] {
+			k := sort.SearchInts(cfg.Adj[v], u)
+			if k >= len(cfg.Adj[v]) || cfg.Adj[v][k] != u {
+				return nil, fmt.Errorf("netsim: adjacency not symmetric: %d lists %d but not vice versa", u, v)
+			}
+			rev[u][j] = k
+		}
+	}
+	s := &Simulator{
+		cfg:      cfg,
+		n:        n,
+		revIndex: rev,
+		arrival:  make([]time.Duration, n),
+	}
+	s.edgeArrival = make([][]time.Duration, n)
+	for v := 0; v < n; v++ {
+		s.edgeArrival[v] = make([]time.Duration, len(cfg.Adj[v]))
+	}
+	return s, nil
+}
+
+// N returns the number of nodes.
+func (s *Simulator) N() int { return s.n }
+
+// Adj returns the adjacency the simulator runs on.
+func (s *Simulator) Adj() [][]int { return s.cfg.Adj }
+
+// Result is the outcome of one broadcast. Its slices alias the simulator's
+// scratch buffers: they are valid until the next Broadcast call. Callers
+// that need to keep them must copy.
+type Result struct {
+	// Source is the mining node.
+	Source int
+	// Arrival[v] is the first time v held the block (InfDuration when the
+	// block never reached v). Arrival[Source] is 0.
+	Arrival []time.Duration
+	// EdgeArrival[v][i] is when neighbor Adj[v][i]'s announcement of the
+	// block reached v, or InfDuration if that neighbor never relayed it.
+	EdgeArrival [][]time.Duration
+}
+
+// Broadcast simulates flooding a block mined by source at virtual time 0.
+func (s *Simulator) Broadcast(source int) (Result, error) {
+	if source < 0 || source >= s.n {
+		return Result{}, fmt.Errorf("netsim: source %d out of range (n=%d)", source, s.n)
+	}
+	for v := 0; v < s.n; v++ {
+		s.arrival[v] = stats.InfDuration
+		row := s.edgeArrival[v]
+		for i := range row {
+			row[i] = stats.InfDuration
+		}
+	}
+	s.sched.Reset()
+	s.arrival[source] = 0
+	s.forward(source, 0)
+	s.sched.Run()
+	return Result{Source: source, Arrival: s.arrival, EdgeArrival: s.edgeArrival}, nil
+}
+
+// forward schedules v's announcements to all its neighbors, starting at
+// time at (v has validated the block by then).
+func (s *Simulator) forward(v int, at time.Duration) {
+	var interval time.Duration
+	if s.cfg.SendInterval != nil {
+		interval = s.cfg.SendInterval[v]
+	}
+	for j, w := range s.cfg.Adj[v] {
+		depart := at + time.Duration(j)*interval
+		deliverAt := depart + s.cfg.Latency.Delay(v, w)
+		w, slot := w, s.revIndex[v][j]
+		// Scheduling in the present or future by construction: delays are
+		// validated non-negative, so the error path is unreachable; guard
+		// anyway to surface programming errors loudly in tests.
+		if err := s.sched.At(deliverAt, func() { s.deliver(w, slot) }); err != nil {
+			panic(fmt.Sprintf("netsim: internal scheduling bug: %v", err))
+		}
+	}
+}
+
+// deliver records the announcement arriving at node w in the given
+// neighbor slot, and triggers w's own forwarding on first receipt.
+func (s *Simulator) deliver(w, slot int) {
+	now := s.sched.Now()
+	if s.edgeArrival[w][slot] > now {
+		s.edgeArrival[w][slot] = now
+	}
+	if s.arrival[w] == stats.InfDuration {
+		s.arrival[w] = now
+		if s.cfg.Silent == nil || !s.cfg.Silent[w] {
+			s.forward(w, now+s.cfg.Forward[w])
+		}
+	}
+}
+
+// ArrivalAnalytic computes the same first-arrival vector as Broadcast via
+// Dijkstra, without per-edge bookkeeping. It does not support upload
+// serialization (returns an error if SendInterval is set), because
+// serialized sends are order-dependent and need the event simulation.
+func (s *Simulator) ArrivalAnalytic(source int) ([]time.Duration, error) {
+	if source < 0 || source >= s.n {
+		return nil, fmt.Errorf("netsim: source %d out of range (n=%d)", source, s.n)
+	}
+	if s.cfg.SendInterval != nil {
+		return nil, fmt.Errorf("netsim: analytic arrival unsupported with upload serialization")
+	}
+	// Arrival(w) = min over neighbors v of Arrival(v) + Δ_v·[v≠source] + δ(v, w).
+	weight := func(u, v int) time.Duration { return s.cfg.Latency.Delay(u, v) }
+	node := func(v int) time.Duration {
+		if v == source {
+			return 0
+		}
+		return s.cfg.Forward[v]
+	}
+	relays := func(v int) bool {
+		// A silent node relays nothing, but a silent miner still announces
+		// its own block.
+		return v == source || s.cfg.Silent == nil || !s.cfg.Silent[v]
+	}
+	return dijkstraNodeDelay(s.cfg.Adj, weight, node, relays, source), nil
+}
+
+// dijkstraNodeDelay is Dijkstra where relaying through node v additionally
+// costs node(v) after v's own arrival, and nodes with relays(v) == false
+// absorb blocks without forwarding.
+func dijkstraNodeDelay(adj [][]int, weight topology.WeightFunc, node func(int) time.Duration, relays func(int) bool, src int) []time.Duration {
+	n := len(adj)
+	dist := make([]time.Duration, n)
+	for i := range dist {
+		dist[i] = stats.InfDuration
+	}
+	dist[src] = 0
+	type item struct {
+		v int
+		d time.Duration
+	}
+	// Simple indexed binary heap specialized for this loop.
+	heapArr := make([]item, 0, n)
+	push := func(it item) {
+		heapArr = append(heapArr, it)
+		i := len(heapArr) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if heapArr[p].d <= heapArr[i].d {
+				break
+			}
+			heapArr[p], heapArr[i] = heapArr[i], heapArr[p]
+			i = p
+		}
+	}
+	pop := func() item {
+		top := heapArr[0]
+		last := len(heapArr) - 1
+		heapArr[0] = heapArr[last]
+		heapArr = heapArr[:last]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			smallest := i
+			if l < last && heapArr[l].d < heapArr[smallest].d {
+				smallest = l
+			}
+			if r < last && heapArr[r].d < heapArr[smallest].d {
+				smallest = r
+			}
+			if smallest == i {
+				break
+			}
+			heapArr[i], heapArr[smallest] = heapArr[smallest], heapArr[i]
+			i = smallest
+		}
+		return top
+	}
+	push(item{v: src, d: 0})
+	for len(heapArr) > 0 {
+		it := pop()
+		if it.d > dist[it.v] {
+			continue
+		}
+		if !relays(it.v) {
+			continue
+		}
+		depart := it.d + node(it.v)
+		for _, w := range adj[it.v] {
+			d := depart + weight(it.v, w)
+			if d < dist[w] {
+				dist[w] = d
+				push(item{v: w, d: d})
+			}
+		}
+	}
+	return dist
+}
+
+// DelayToFraction returns the earliest time by which nodes holding at least
+// frac of the total power have the block, given the per-node arrival
+// times. The source (arrival 0) counts. If the reachable mass is below
+// frac, it returns InfDuration.
+func DelayToFraction(arrival []time.Duration, power []float64, frac float64) (time.Duration, error) {
+	if len(arrival) != len(power) {
+		return 0, fmt.Errorf("netsim: arrival has %d entries, power %d", len(arrival), len(power))
+	}
+	if frac <= 0 || frac > 1 {
+		return 0, fmt.Errorf("netsim: fraction %v outside (0, 1]", frac)
+	}
+	var total float64
+	for i, p := range power {
+		if p < 0 {
+			return 0, fmt.Errorf("netsim: negative power %v at node %d", p, i)
+		}
+		total += p
+	}
+	if total <= 0 {
+		return 0, fmt.Errorf("netsim: zero total power")
+	}
+	idx := make([]int, len(arrival))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return arrival[idx[a]] < arrival[idx[b]] })
+	// The epsilon absorbs floating-point shortfall when frac covers the
+	// whole network (e.g. frac=1 with power summing to 1-1e-16).
+	const eps = 1e-9
+	target := frac * total
+	var acc float64
+	for _, i := range idx {
+		if arrival[i] == stats.InfDuration {
+			break
+		}
+		acc += power[i]
+		if acc+eps >= target {
+			return arrival[i], nil
+		}
+	}
+	return stats.InfDuration, nil
+}
+
+// IdealArrival returns the one-hop arrival times of a fully-connected
+// network: every node receives the block directly from the source. This is
+// the paper's "ideal" lower-bound baseline.
+func IdealArrival(model latency.Model, source int) []time.Duration {
+	n := model.N()
+	out := make([]time.Duration, n)
+	for v := 0; v < n; v++ {
+		if v == source {
+			continue
+		}
+		out[v] = model.Delay(source, v)
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/perigee-net/perigee/internal/latency"
+	"github.com/perigee-net/perigee/internal/stats"
+)
+
+func TestSilentNodeDoesNotRelay(t *testing.T) {
+	// Line 0-1-2 with node 1 silent: node 2 must never receive.
+	cfg := lineConfig(3, 0)
+	cfg.Silent = []bool{false, true, false}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Broadcast(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrival[1] == stats.InfDuration {
+		t.Fatal("silent node should still receive")
+	}
+	if res.Arrival[2] != stats.InfDuration {
+		t.Fatalf("node behind silent relay received at %v", res.Arrival[2])
+	}
+}
+
+func TestSilentSourceStillAnnounces(t *testing.T) {
+	cfg := lineConfig(3, 0)
+	cfg.Silent = []bool{true, false, false}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Broadcast(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrival[1] == stats.InfDuration || res.Arrival[2] == stats.InfDuration {
+		t.Fatalf("silent miner's block did not propagate: %v", res.Arrival)
+	}
+}
+
+func TestSilentAnalyticMatchesEventSim(t *testing.T) {
+	// Diamond: 0-{1,2}-3 with node 1 silent; both computations must agree
+	// that 3 is reached only through 2.
+	adj := [][]int{{1, 2}, {0, 3}, {0, 3}, {1, 2}}
+	silent := []bool{false, true, false, false}
+	model := latency.Constant{Nodes: 4, D: 10 * time.Millisecond}
+	sim, err := New(Config{
+		Adj:     adj,
+		Latency: model,
+		Forward: uniformForward(4, 5*time.Millisecond),
+		Silent:  silent,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Broadcast(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic, err := sim.ArrivalAnalytic(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range adj {
+		if res.Arrival[v] != analytic[v] {
+			t.Fatalf("node %d: event %v != analytic %v", v, res.Arrival[v], analytic[v])
+		}
+	}
+	// Through node 2 only: 10 + 5 + 10 = 25ms at node 3.
+	if res.Arrival[3] != 25*time.Millisecond {
+		t.Fatalf("arrival[3] = %v, want 25ms", res.Arrival[3])
+	}
+}
+
+func TestSilentMaskValidation(t *testing.T) {
+	cfg := lineConfig(3, 0)
+	cfg.Silent = []bool{true}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("expected error for wrong-length silent mask")
+	}
+}
+
+func TestAllSilentNetwork(t *testing.T) {
+	// Everyone silent: only the source's direct neighbors receive.
+	cfg := lineConfig(4, 0)
+	cfg.Silent = []bool{true, true, true, true}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Broadcast(1) // middle node
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrival[0] == stats.InfDuration || res.Arrival[2] == stats.InfDuration {
+		t.Fatal("direct neighbors should receive from the source")
+	}
+	if res.Arrival[3] != stats.InfDuration {
+		t.Fatal("two hops away should not receive when everyone is silent")
+	}
+}

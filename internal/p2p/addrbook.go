@@ -1,0 +1,70 @@
+// Package p2p implements a live TCP Perigee node: Bitcoin-style
+// INV/GETDATA/BLOCK gossip over the wire protocol, address discovery, and
+// the Perigee neighbor-update loop driven by real arrival timestamps.
+//
+// The package is the "deployment" counterpart of the simulator: the same
+// scoring code (internal/core) ranks peers using timestamps measured on
+// real connections. Artificial per-peer latency can be injected to run
+// planet-scale experiments on a single machine (see cmd/perigee-cluster).
+package p2p
+
+import (
+	"sync"
+)
+
+// AddrBook is a thread-safe set of known peer addresses (the node's
+// addrMan, §2.1).
+type AddrBook struct {
+	mu    sync.RWMutex
+	addrs map[string]struct{}
+}
+
+// NewAddrBook returns an empty address book.
+func NewAddrBook() *AddrBook {
+	return &AddrBook{addrs: make(map[string]struct{})}
+}
+
+// Add records addresses; empty strings are ignored.
+func (b *AddrBook) Add(addrs ...string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, a := range addrs {
+		if a == "" {
+			continue
+		}
+		b.addrs[a] = struct{}{}
+	}
+}
+
+// Remove deletes an address (e.g. one that repeatedly fails to dial).
+func (b *AddrBook) Remove(addr string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.addrs, addr)
+}
+
+// Len returns the number of known addresses.
+func (b *AddrBook) Len() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.addrs)
+}
+
+// All returns every known address (unordered).
+func (b *AddrBook) All() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]string, 0, len(b.addrs))
+	for a := range b.addrs {
+		out = append(out, a)
+	}
+	return out
+}
+
+// Contains reports whether addr is known.
+func (b *AddrBook) Contains(addr string) bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	_, ok := b.addrs[addr]
+	return ok
+}

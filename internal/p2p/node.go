@@ -1,0 +1,722 @@
+package p2p
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/perigee-net/perigee/internal/chain"
+	"github.com/perigee-net/perigee/internal/core"
+	"github.com/perigee-net/perigee/internal/rng"
+	"github.com/perigee-net/perigee/internal/stats"
+	"github.com/perigee-net/perigee/internal/wire"
+)
+
+// Config assembles a live node.
+type Config struct {
+	// NodeID is the node's identity; zero means "derive from the seed".
+	NodeID uint64
+	// Seed drives the node's local randomness (nonces, address sampling).
+	Seed uint64
+	// ListenAddr is the accepting address ("127.0.0.1:0" for an ephemeral
+	// port); empty disables listening (a client-only node).
+	ListenAddr string
+	// MaxInbound caps accepted connections (default 20).
+	MaxInbound int
+	// OutDegree is the target number of outbound connections maintained by
+	// the Perigee round (default 8).
+	OutDegree int
+	// Explore is the number of exploration slots per round (default 2).
+	Explore int
+	// Percentile is the scoring quantile (default 0.9).
+	Percentile float64
+	// Genesis anchors the node's chain; all nodes of a network must share
+	// it.
+	Genesis *chain.Block
+	// PeerDelay, when non-nil, returns an artificial one-way delay to
+	// apply before every message sent to the given remote node — latency
+	// injection for single-machine experiments.
+	PeerDelay func(remoteID uint64) time.Duration
+	// HandshakeTimeout bounds the version exchange (default 5s).
+	HandshakeTimeout time.Duration
+	// Logf, when non-nil, receives diagnostic log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) applyDefaults() {
+	if c.MaxInbound == 0 {
+		c.MaxInbound = 20
+	}
+	if c.OutDegree == 0 {
+		c.OutDegree = 8
+	}
+	if c.Explore == 0 {
+		c.Explore = 2
+	}
+	if c.Percentile == 0 {
+		c.Percentile = 0.9
+	}
+	if c.HandshakeTimeout == 0 {
+		c.HandshakeTimeout = 5 * time.Second
+	}
+}
+
+// Node is a live Perigee peer: it gossips blocks over TCP and periodically
+// re-selects its outbound neighbors from measured arrival times.
+type Node struct {
+	cfg   Config
+	store *chain.Store
+	book  *AddrBook
+	rand  *rng.RNG
+
+	mu       sync.Mutex
+	peers    map[uint64]*peer
+	listener net.Listener
+	closed   bool
+
+	obsMu     sync.Mutex
+	firstSeen map[chain.Hash]map[uint64]time.Time
+	order     []chain.Hash
+	requested map[chain.Hash]time.Time
+	orphans   map[chain.Hash][]*chain.Block
+
+	wg sync.WaitGroup
+}
+
+// ErrStopped is returned by operations on a stopped node.
+var ErrStopped = errors.New("p2p: node stopped")
+
+// NewNode validates the config and builds a node (not yet started).
+func NewNode(cfg Config) (*Node, error) {
+	cfg.applyDefaults()
+	if cfg.Genesis == nil {
+		return nil, fmt.Errorf("p2p: nil genesis")
+	}
+	if cfg.Explore >= cfg.OutDegree {
+		return nil, fmt.Errorf("p2p: explore %d must be below out-degree %d", cfg.Explore, cfg.OutDegree)
+	}
+	store, err := chain.NewStore(cfg.Genesis)
+	if err != nil {
+		return nil, err
+	}
+	r := rng.New(cfg.Seed).Derive("p2p-node")
+	if cfg.NodeID == 0 {
+		cfg.NodeID = r.Uint64() | 1 // never zero
+	}
+	return &Node{
+		cfg:       cfg,
+		store:     store,
+		book:      NewAddrBook(),
+		rand:      r,
+		peers:     make(map[uint64]*peer),
+		firstSeen: make(map[chain.Hash]map[uint64]time.Time),
+		requested: make(map[chain.Hash]time.Time),
+		orphans:   make(map[chain.Hash][]*chain.Block),
+	}, nil
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() uint64 { return n.cfg.NodeID }
+
+// Store exposes the node's block store.
+func (n *Node) Store() *chain.Store { return n.store }
+
+// AddrBook exposes the node's address book.
+func (n *Node) Book() *AddrBook { return n.book }
+
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf("[%016x] "+format, append([]any{n.cfg.NodeID}, args...)...)
+	}
+}
+
+// Start begins listening (when configured) and accepting connections.
+func (n *Node) Start() error {
+	if n.cfg.ListenAddr == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", n.cfg.ListenAddr)
+	if err != nil {
+		return fmt.Errorf("p2p: listen: %w", err)
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		_ = ln.Close()
+		return ErrStopped
+	}
+	n.listener = ln
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go n.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the actual listening address, or "" when not listening.
+func (n *Node) Addr() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.listener == nil {
+		return ""
+	}
+	return n.listener.Addr().String()
+}
+
+func (n *Node) acceptLoop(ln net.Listener) {
+	defer n.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if n.inboundCount() >= n.cfg.MaxInbound {
+			// Incoming slots full: decline, as in §5.1.
+			_ = conn.Close()
+			continue
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			if err := n.setupPeer(conn, Inbound, ""); err != nil {
+				n.logf("inbound handshake failed: %v", err)
+			}
+		}()
+	}
+}
+
+func (n *Node) inboundCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	count := 0
+	for _, p := range n.peers {
+		if p.direction == Inbound {
+			count++
+		}
+	}
+	return count
+}
+
+// OutboundCount returns the number of live outbound connections.
+func (n *Node) OutboundCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	count := 0
+	for _, p := range n.peers {
+		if p.direction == Outbound {
+			count++
+		}
+	}
+	return count
+}
+
+// Connect dials and handshakes an outbound peer.
+func (n *Node) Connect(addr string) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrStopped
+	}
+	n.mu.Unlock()
+	conn, err := net.DialTimeout("tcp", addr, n.cfg.HandshakeTimeout)
+	if err != nil {
+		return fmt.Errorf("p2p: dial %s: %w", addr, err)
+	}
+	n.book.Add(addr)
+	return n.setupPeer(conn, Outbound, addr)
+}
+
+// setupPeer performs the version handshake and installs the peer.
+func (n *Node) setupPeer(conn net.Conn, dir Direction, dialedAddr string) error {
+	deadline := time.Now().Add(n.cfg.HandshakeTimeout)
+	_ = conn.SetDeadline(deadline)
+	local := &wire.Version{
+		Protocol:   wire.ProtocolVersion,
+		NodeID:     n.cfg.NodeID,
+		ListenAddr: n.Addr(),
+		Nonce:      n.randUint64(),
+	}
+	var remote *wire.Version
+	var err error
+	if dir == Outbound {
+		remote, err = handshakeDance(conn, local, true)
+	} else {
+		remote, err = handshakeDance(conn, local, false)
+	}
+	if err != nil {
+		_ = conn.Close()
+		return err
+	}
+	if remote.Protocol != wire.ProtocolVersion {
+		_ = conn.Close()
+		return fmt.Errorf("p2p: protocol version %d unsupported", remote.Protocol)
+	}
+	if remote.NodeID == n.cfg.NodeID {
+		_ = conn.Close()
+		return fmt.Errorf("p2p: self connection detected")
+	}
+	_ = conn.SetDeadline(time.Time{})
+
+	var delay time.Duration
+	if n.cfg.PeerDelay != nil {
+		delay = n.cfg.PeerDelay(remote.NodeID)
+	}
+	listenAddr := remote.ListenAddr
+	if listenAddr == "" && dir == Outbound {
+		listenAddr = dialedAddr
+	}
+	p := newPeer(remote.NodeID, dir, conn, listenAddr, delay)
+
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		p.close()
+		return ErrStopped
+	}
+	if _, dup := n.peers[p.id]; dup {
+		n.mu.Unlock()
+		p.close()
+		return fmt.Errorf("p2p: duplicate connection to %016x", p.id)
+	}
+	n.peers[p.id] = p
+	n.mu.Unlock()
+	if listenAddr != "" {
+		n.book.Add(listenAddr)
+	}
+	n.logf("connected %s via %s", p, conn.RemoteAddr())
+
+	n.wg.Add(2)
+	go func() {
+		defer n.wg.Done()
+		p.writeLoop()
+	}()
+	go func() {
+		defer n.wg.Done()
+		n.readLoop(p)
+	}()
+	// Seed discovery and sync: ask for addresses and announce our tip.
+	p.send(&wire.GetAddr{})
+	if tip := n.store.Tip(); tip.Header.Height > 0 {
+		p.send(&wire.Inv{Hashes: []chain.Hash{tip.Header.Hash()}})
+	}
+	return nil
+}
+
+// handshakeDance exchanges Version/Verack. The initiator speaks first;
+// both sides end up with the remote's Version.
+func handshakeDance(conn net.Conn, local *wire.Version, initiator bool) (*wire.Version, error) {
+	readVersion := func() (*wire.Version, error) {
+		m, err := wire.Read(conn)
+		if err != nil {
+			return nil, fmt.Errorf("p2p: reading version: %w", err)
+		}
+		v, ok := m.(*wire.Version)
+		if !ok {
+			return nil, fmt.Errorf("p2p: expected version, got %v", m.Type())
+		}
+		return v, nil
+	}
+	readVerack := func() error {
+		m, err := wire.Read(conn)
+		if err != nil {
+			return fmt.Errorf("p2p: reading verack: %w", err)
+		}
+		if _, ok := m.(*wire.Verack); !ok {
+			return fmt.Errorf("p2p: expected verack, got %v", m.Type())
+		}
+		return nil
+	}
+	if initiator {
+		if err := wire.Write(conn, local); err != nil {
+			return nil, err
+		}
+		remote, err := readVersion()
+		if err != nil {
+			return nil, err
+		}
+		if err := wire.Write(conn, &wire.Verack{}); err != nil {
+			return nil, err
+		}
+		if err := readVerack(); err != nil {
+			return nil, err
+		}
+		return remote, nil
+	}
+	remote, err := readVersion()
+	if err != nil {
+		return nil, err
+	}
+	if err := wire.Write(conn, local); err != nil {
+		return nil, err
+	}
+	if err := readVerack(); err != nil {
+		return nil, err
+	}
+	if err := wire.Write(conn, &wire.Verack{}); err != nil {
+		return nil, err
+	}
+	return remote, nil
+}
+
+func (n *Node) randUint64() uint64 {
+	n.obsMu.Lock()
+	defer n.obsMu.Unlock()
+	return n.rand.Uint64()
+}
+
+// readLoop dispatches messages from one peer until the connection dies.
+func (n *Node) readLoop(p *peer) {
+	defer n.removePeer(p)
+	for {
+		m, err := wire.Read(p.conn)
+		if err != nil {
+			return
+		}
+		switch msg := m.(type) {
+		case *wire.Ping:
+			p.send(&wire.Pong{Nonce: msg.Nonce})
+		case *wire.Pong:
+			// liveness only
+		case *wire.Inv:
+			n.handleInv(p, msg)
+		case *wire.GetData:
+			n.handleGetData(p, msg)
+		case *wire.Block:
+			n.handleBlock(p, msg.Block)
+		case *wire.Addr:
+			n.book.Add(msg.Addrs...)
+		case *wire.GetAddr:
+			n.handleGetAddr(p)
+		default:
+			// Version/Verack after handshake: protocol violation.
+			return
+		}
+	}
+}
+
+func (n *Node) removePeer(p *peer) {
+	p.close()
+	n.mu.Lock()
+	if existing, ok := n.peers[p.id]; ok && existing == p {
+		delete(n.peers, p.id)
+	}
+	n.mu.Unlock()
+	n.logf("disconnected %s", p)
+}
+
+// recordSeen notes the first time each peer announced a block.
+func (n *Node) recordSeen(peerID uint64, h chain.Hash, at time.Time) {
+	n.obsMu.Lock()
+	defer n.obsMu.Unlock()
+	m, ok := n.firstSeen[h]
+	if !ok {
+		m = make(map[uint64]time.Time)
+		n.firstSeen[h] = m
+	}
+	if _, seen := m[peerID]; !seen {
+		m[peerID] = at
+	}
+}
+
+func (n *Node) handleInv(p *peer, inv *wire.Inv) {
+	now := time.Now()
+	var want []chain.Hash
+	for _, h := range inv.Hashes {
+		n.recordSeen(p.id, h, now)
+		if n.store.Has(h) {
+			continue
+		}
+		n.obsMu.Lock()
+		last, asked := n.requested[h]
+		if !asked || now.Sub(last) > 2*time.Second {
+			n.requested[h] = now
+			want = append(want, h)
+		}
+		n.obsMu.Unlock()
+	}
+	if len(want) > 0 {
+		p.send(&wire.GetData{Hashes: want})
+	}
+}
+
+func (n *Node) handleGetData(p *peer, gd *wire.GetData) {
+	for _, h := range gd.Hashes {
+		if b := n.store.Get(h); b != nil {
+			p.send(&wire.Block{Block: b})
+		}
+	}
+}
+
+func (n *Node) handleGetAddr(p *peer) {
+	addrs := n.book.All()
+	if len(addrs) > wire.MaxAddrs {
+		addrs = addrs[:wire.MaxAddrs]
+	}
+	if len(addrs) > 0 {
+		p.send(&wire.Addr{Addrs: addrs})
+	}
+}
+
+func (n *Node) handleBlock(p *peer, b *chain.Block) {
+	h := b.Header.Hash()
+	n.recordSeen(p.id, h, time.Now())
+	n.acceptBlock(p, b)
+}
+
+// acceptBlock validates, stores, relays, and unstashes orphans. from may
+// be nil for self-mined blocks.
+func (n *Node) acceptBlock(from *peer, b *chain.Block) {
+	h := b.Header.Hash()
+	if n.store.Has(h) {
+		return
+	}
+	if err := chain.CheckBlock(b); err != nil {
+		n.logf("rejecting invalid block %s: %v", h, err)
+		return
+	}
+	err := n.store.Add(b)
+	switch {
+	case err == nil:
+	case errors.Is(err, chain.ErrOrphanBlock):
+		n.obsMu.Lock()
+		n.orphans[b.Header.PrevHash] = append(n.orphans[b.Header.PrevHash], b)
+		n.obsMu.Unlock()
+		if from != nil {
+			from.send(&wire.GetData{Hashes: []chain.Hash{b.Header.PrevHash}})
+		}
+		return
+	case errors.Is(err, chain.ErrDuplicateBlock):
+		return
+	default:
+		n.logf("rejecting block %s: %v", h, err)
+		return
+	}
+	n.obsMu.Lock()
+	n.order = append(n.order, h)
+	pending := n.orphans[h]
+	delete(n.orphans, h)
+	n.obsMu.Unlock()
+
+	// Relay to everyone except the sender (they have it).
+	var fromID uint64
+	if from != nil {
+		fromID = from.id
+	}
+	n.broadcastInv(h, fromID)
+	for _, orphan := range pending {
+		n.acceptBlock(nil, orphan)
+	}
+}
+
+func (n *Node) broadcastInv(h chain.Hash, exceptID uint64) {
+	for _, p := range n.peerSnapshot() {
+		if p.id == exceptID {
+			continue
+		}
+		p.send(&wire.Inv{Hashes: []chain.Hash{h}})
+	}
+}
+
+func (n *Node) peerSnapshot() []*peer {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]*peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// MineBlock extends the node's tip with a new block and announces it.
+func (n *Node) MineBlock(txs [][]byte) (*chain.Block, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, ErrStopped
+	}
+	n.mu.Unlock()
+	b := chain.NewBlock(n.store.Tip(), txs, time.Now(), n.randUint64())
+	n.acceptBlock(nil, b)
+	if !n.store.Has(b.Header.Hash()) {
+		return nil, fmt.Errorf("p2p: mined block rejected")
+	}
+	return b, nil
+}
+
+// PeerInfo describes one live connection.
+type PeerInfo struct {
+	// ID is the remote node's identity.
+	ID uint64
+	// Direction reports who dialed.
+	Direction Direction
+	// ListenAddr is the remote's accepting address, if known.
+	ListenAddr string
+}
+
+// Peers lists live connections sorted by ID.
+func (n *Node) Peers() []PeerInfo {
+	ps := n.peerSnapshot()
+	out := make([]PeerInfo, len(ps))
+	for i, p := range ps {
+		out[i] = PeerInfo{ID: p.id, Direction: p.direction, ListenAddr: p.listenAddr}
+	}
+	return out
+}
+
+// RoundReport summarizes one live Perigee round.
+type RoundReport struct {
+	// BlocksScored is the number of blocks whose timestamps fed scoring.
+	BlocksScored int
+	// Dropped lists the outbound peer IDs disconnected.
+	Dropped []uint64
+	// Dialed lists the fresh addresses connected for exploration.
+	Dialed []string
+}
+
+// PerigeeRound scores the current outbound peers on the block arrival
+// timestamps observed since the last round, keeps the best
+// OutDegree−Explore, disconnects the rest, and dials fresh addresses from
+// the book. It then resets the observation window.
+func (n *Node) PerigeeRound() (RoundReport, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return RoundReport{}, ErrStopped
+	}
+	n.mu.Unlock()
+
+	outbound := make([]*peer, 0, n.cfg.OutDegree)
+	for _, p := range n.peerSnapshot() {
+		if p.direction == Outbound {
+			outbound = append(outbound, p)
+		}
+	}
+	report := RoundReport{}
+
+	// Build observations: offsets of each outbound peer's announcement
+	// relative to the first announcement of that block from any peer.
+	n.obsMu.Lock()
+	blocks := append([]chain.Hash(nil), n.order...)
+	obs := core.NewObservations(peerIDsAsInts(outbound), len(blocks))
+	for bi, h := range blocks {
+		seen := n.firstSeen[h]
+		if len(seen) == 0 {
+			continue // self-mined or never announced
+		}
+		var tMin time.Time
+		first := true
+		for _, at := range seen {
+			if first || at.Before(tMin) {
+				tMin, first = at, false
+			}
+		}
+		for pi, p := range outbound {
+			if at, ok := seen[p.id]; ok {
+				obs.Offsets[bi][pi] = at.Sub(tMin)
+			}
+		}
+	}
+	// Reset the observation window.
+	n.order = nil
+	n.firstSeen = make(map[chain.Hash]map[uint64]time.Time)
+	n.requested = make(map[chain.Hash]time.Time)
+	n.obsMu.Unlock()
+	report.BlocksScored = len(blocks)
+
+	retain := n.cfg.OutDegree - n.cfg.Explore
+	if len(outbound) > retain {
+		keep := core.SubsetSelect(obs, retain, n.cfg.Percentile)
+		keepSet := make(map[int]bool, len(keep))
+		for _, i := range keep {
+			keepSet[i] = true
+		}
+		for i, p := range outbound {
+			if !keepSet[i] {
+				report.Dropped = append(report.Dropped, p.id)
+				n.removePeer(p)
+			}
+		}
+	}
+
+	// Exploration: dial fresh addresses until the outbound target is met.
+	exclude := map[string]bool{n.Addr(): true}
+	for _, p := range n.peerSnapshot() {
+		if p.listenAddr != "" {
+			exclude[p.listenAddr] = true
+		}
+	}
+	candidates := n.book.All()
+	n.shuffleStrings(candidates)
+	for _, addr := range candidates {
+		if n.OutboundCount() >= n.cfg.OutDegree {
+			break
+		}
+		if exclude[addr] {
+			continue
+		}
+		if err := n.Connect(addr); err != nil {
+			n.logf("exploration dial %s failed: %v", addr, err)
+			continue
+		}
+		exclude[addr] = true
+		report.Dialed = append(report.Dialed, addr)
+	}
+	return report, nil
+}
+
+func (n *Node) shuffleStrings(xs []string) {
+	sort.Strings(xs) // deterministic base order before the seeded shuffle
+	n.obsMu.Lock()
+	defer n.obsMu.Unlock()
+	n.rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// peerIDsAsInts converts peer IDs for the shared scoring code, which keys
+// neighbors by int. The value is only used for identity and deterministic
+// tie-breaking, so the (possibly negative) two's-complement view is fine.
+func peerIDsAsInts(ps []*peer) []int {
+	out := make([]int, len(ps))
+	for i, p := range ps {
+		out[i] = int(p.id)
+	}
+	return out
+}
+
+// ObservationWindow returns the number of blocks currently accumulated for
+// the next round.
+func (n *Node) ObservationWindow() int {
+	n.obsMu.Lock()
+	defer n.obsMu.Unlock()
+	return len(n.order)
+}
+
+// Stop closes the listener and all connections and waits for every
+// goroutine to exit. Safe to call more than once.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		n.wg.Wait()
+		return
+	}
+	n.closed = true
+	ln := n.listener
+	peers := make([]*peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		peers = append(peers, p)
+	}
+	n.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	for _, p := range peers {
+		p.close()
+	}
+	n.wg.Wait()
+}
+
+// Censored is re-exported for tests asserting on observation offsets.
+const Censored = stats.InfDuration

@@ -1,0 +1,115 @@
+package p2p
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/perigee-net/perigee/internal/wire"
+)
+
+// Direction distinguishes who initiated a connection.
+type Direction int
+
+// Connection directions.
+const (
+	// Outbound connections were dialed by us; only these are scored and
+	// rotated by Perigee (a node controls its outgoing set, §2.1).
+	Outbound Direction = iota
+	// Inbound connections were accepted from a remote dialer.
+	Inbound
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	if d == Outbound {
+		return "outbound"
+	}
+	return "inbound"
+}
+
+// peer is one live connection after a completed handshake.
+type peer struct {
+	id         uint64
+	direction  Direction
+	conn       net.Conn
+	listenAddr string // remote's accepting address, "" if not listening
+	delay      time.Duration
+
+	sendCh chan wire.Message
+	done   chan struct{}
+
+	closeOnce sync.Once
+}
+
+const peerSendBuffer = 128
+
+func newPeer(id uint64, dir Direction, conn net.Conn, listenAddr string, delay time.Duration) *peer {
+	return &peer{
+		id:         id,
+		direction:  dir,
+		conn:       conn,
+		listenAddr: listenAddr,
+		delay:      delay,
+		sendCh:     make(chan wire.Message, peerSendBuffer),
+		done:       make(chan struct{}),
+	}
+}
+
+// send enqueues a message; it reports false when the peer is shutting down
+// or its queue is full (slow peer — the message is dropped rather than
+// blocking the caller, like a full TCP send buffer).
+func (p *peer) send(m wire.Message) bool {
+	select {
+	case <-p.done:
+		return false
+	default:
+	}
+	select {
+	case p.sendCh <- m:
+		return true
+	case <-p.done:
+		return false
+	default:
+		return false
+	}
+}
+
+// writeLoop drains the send queue onto the connection, applying the
+// injected artificial latency before each write. It exits when the peer
+// closes.
+func (p *peer) writeLoop() {
+	for {
+		select {
+		case m := <-p.sendCh:
+			if p.delay > 0 {
+				timer := time.NewTimer(p.delay)
+				select {
+				case <-timer.C:
+				case <-p.done:
+					timer.Stop()
+					return
+				}
+			}
+			if err := wire.Write(p.conn, m); err != nil {
+				p.close()
+				return
+			}
+		case <-p.done:
+			return
+		}
+	}
+}
+
+// close shuts the connection down exactly once.
+func (p *peer) close() {
+	p.closeOnce.Do(func() {
+		close(p.done)
+		_ = p.conn.Close()
+	})
+}
+
+func (p *peer) String() string {
+	return fmt.Sprintf("peer(%016x, %s)", p.id, p.direction)
+}

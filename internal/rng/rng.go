@@ -1,0 +1,127 @@
+// Package rng provides deterministic, splittable pseudo-random number
+// streams for simulations.
+//
+// Every experiment in this repository is driven by a single root seed.
+// Independent subsystems (latency jitter, hash-power sampling, topology
+// construction, exploration, ...) derive their own named streams from that
+// root so that adding a random draw in one subsystem never perturbs the
+// sequence observed by another. Derivation is stateless: deriving the same
+// label twice yields identical streams regardless of how much state the
+// parent has consumed.
+package rng
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"math/rand/v2"
+)
+
+// RNG is a deterministic random stream. It embeds *rand.Rand, so all the
+// usual drawing methods (Float64, IntN, Perm, Shuffle, ExpFloat64, ...) are
+// available directly.
+type RNG struct {
+	*rand.Rand
+	seed [32]byte
+}
+
+// New returns a stream rooted at the given integer seed.
+func New(seed uint64) *RNG {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], seed)
+	digest := sha256.Sum256(buf[:])
+	return fromDigest(digest)
+}
+
+func fromDigest(digest [32]byte) *RNG {
+	hi := binary.LittleEndian.Uint64(digest[0:8])
+	lo := binary.LittleEndian.Uint64(digest[8:16])
+	return &RNG{
+		Rand: rand.New(rand.NewPCG(hi, lo)),
+		seed: digest,
+	}
+}
+
+// Derive returns an independent stream identified by label. Derivation
+// depends only on the receiver's seed and the label, never on how many
+// values have been drawn from the receiver.
+func (r *RNG) Derive(label string) *RNG {
+	h := sha256.New()
+	h.Write(r.seed[:])
+	h.Write([]byte(label))
+	var digest [32]byte
+	h.Sum(digest[:0])
+	return fromDigest(digest)
+}
+
+// DeriveIndexed returns an independent stream identified by a label and an
+// integer index, convenient for per-trial or per-node streams.
+func (r *RNG) DeriveIndexed(label string, index int) *RNG {
+	h := sha256.New()
+	h.Write(r.seed[:])
+	h.Write([]byte(label))
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(index))
+	h.Write(buf[:])
+	var digest [32]byte
+	h.Sum(digest[:0])
+	return fromDigest(digest)
+}
+
+// PairJitter returns a deterministic value in [1-amplitude, 1+amplitude]
+// keyed by the unordered pair {u, v}. It is used for symmetric per-link
+// latency jitter without storing an n-by-n matrix: calling with (u, v) or
+// (v, u) yields the same factor, and the factor depends only on the
+// receiver's seed.
+func (r *RNG) PairJitter(u, v int, amplitude float64) float64 {
+	if u > v {
+		u, v = v, u
+	}
+	h := sha256.New()
+	h.Write(r.seed[:])
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[0:8], uint64(u))
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(v))
+	h.Write(buf[:])
+	var digest [32]byte
+	h.Sum(digest[:0])
+	// Map the first 8 bytes to a uniform float in [0, 1).
+	u64 := binary.LittleEndian.Uint64(digest[0:8])
+	unit := float64(u64>>11) / (1 << 53)
+	return 1 - amplitude + 2*amplitude*unit
+}
+
+// PairLogNormal returns a deterministic multiplicative factor keyed by the
+// unordered pair {u, v}, distributed LogNormal(−σ²/2, σ) so its mean is 1.
+// It models per-link routing inefficiency (Internet latencies deviate
+// multiplicatively from clean metric embeddings). Symmetric in (u, v).
+func (r *RNG) PairLogNormal(u, v int, sigma float64) float64 {
+	if sigma == 0 {
+		return 1
+	}
+	if u > v {
+		u, v = v, u
+	}
+	h := sha256.New()
+	h.Write(r.seed[:])
+	h.Write([]byte("lognormal"))
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[0:8], uint64(u))
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(v))
+	h.Write(buf[:])
+	var digest [32]byte
+	h.Sum(digest[:0])
+	u1 := unitFloat(binary.LittleEndian.Uint64(digest[0:8]))
+	u2 := unitFloat(binary.LittleEndian.Uint64(digest[8:16]))
+	// Box-Muller; clamp u1 away from zero to keep log finite.
+	if u1 < 1e-18 {
+		u1 = 1e-18
+	}
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return math.Exp(sigma*z - sigma*sigma/2)
+}
+
+func unitFloat(x uint64) float64 { return float64(x>>11) / (1 << 53) }
+
+// Seed exposes the stream's 32-byte seed, primarily for diagnostics.
+func (r *RNG) Seed() [32]byte { return r.seed }

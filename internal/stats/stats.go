@@ -1,0 +1,304 @@
+// Package stats provides the statistical primitives used throughout the
+// Perigee simulator: percentiles (including right-censored observations),
+// streaming summaries, histograms, CDFs, and cross-trial aggregation with
+// error bars.
+//
+// All float-based functions treat math.Inf(1) as a right-censored
+// observation ("the block never arrived"): censored points sort after every
+// finite point, so a percentile that lands among them is itself +Inf.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// InfDuration is the sentinel used for censored duration observations. It
+// sorts after every representable duration.
+const InfDuration = time.Duration(math.MaxInt64)
+
+// Percentile returns the p-quantile (p in [0, 1]) of xs using linear
+// interpolation between closest ranks. It returns NaN for an empty input
+// and panics if p is outside [0, 1], which always indicates a programming
+// error at the call site.
+func Percentile(xs []float64, p float64) float64 {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("stats: percentile %v outside [0, 1]", p))
+	}
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return sortedPercentile(sorted, p)
+}
+
+func sortedPercentile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	rank := p * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	a, b := sorted[lo], sorted[hi]
+	if math.IsInf(b, 1) {
+		if frac == 0 {
+			return a
+		}
+		return math.Inf(1)
+	}
+	// Convex combination rather than a + (b-a)*frac: the difference form
+	// can overflow when a and b have opposite signs near ±MaxFloat64.
+	return a*(1-frac) + b*frac
+}
+
+// DurationPercentile returns the p-quantile of ds with linear interpolation.
+// InfDuration observations are treated as right-censored: if the quantile
+// needs to interpolate into a censored value, the result is InfDuration.
+// It returns InfDuration for empty input (there is no evidence the event
+// ever happens).
+func DurationPercentile(ds []time.Duration, p float64) time.Duration {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("stats: percentile %v outside [0, 1]", p))
+	}
+	if len(ds) == 0 {
+		return InfDuration
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	rank := p * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	a, b := sorted[lo], sorted[hi]
+	if b == InfDuration {
+		if frac == 0 {
+			return a
+		}
+		return InfDuration
+	}
+	return a + time.Duration(float64(b-a)*frac)
+}
+
+// Summary accumulates a streaming mean/variance/min/max using Welford's
+// algorithm. The zero value is ready to use.
+type Summary struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds x into the summary.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the running mean, or NaN if empty.
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.mean
+}
+
+// Variance returns the sample variance (n-1 denominator), or NaN when fewer
+// than two observations exist.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return math.NaN()
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Summary) Std() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation, or NaN if empty.
+func (s *Summary) Min() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
+
+// Max returns the largest observation, or NaN if empty.
+func (s *Summary) Max() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.max
+}
+
+// Mean returns the arithmetic mean of xs, or NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MeanStd returns the mean and sample standard deviation of xs.
+func MeanStd(xs []float64) (mean, std float64) {
+	var s Summary
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return s.Mean(), s.Std()
+}
+
+// CDF returns the empirical CDF support points of xs: a sorted copy, such
+// that point i has cumulative probability (i+1)/len.
+func CDF(xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	sort.Float64s(out)
+	return out
+}
+
+// AggregateSeries combines per-trial series (each already sorted or
+// otherwise index-aligned) into a per-index mean and standard deviation.
+// All trials must have equal length.
+func AggregateSeries(trials [][]float64) (mean, std []float64, err error) {
+	if len(trials) == 0 {
+		return nil, nil, fmt.Errorf("stats: no trials to aggregate")
+	}
+	n := len(trials[0])
+	for i, tr := range trials {
+		if len(tr) != n {
+			return nil, nil, fmt.Errorf("stats: trial %d has length %d, want %d", i, len(tr), n)
+		}
+	}
+	mean = make([]float64, n)
+	std = make([]float64, n)
+	for i := 0; i < n; i++ {
+		var s Summary
+		for _, tr := range trials {
+			s.Add(tr[i])
+		}
+		mean[i] = s.Mean()
+		if len(trials) > 1 {
+			std[i] = s.Std()
+		}
+	}
+	return mean, std, nil
+}
+
+// Histogram is a fixed-range, equal-width histogram. Observations outside
+// [Lo, Hi) are clamped into the first/last bin so that total mass is
+// preserved, which matches how the paper's Figure 5 bins edge latencies.
+type Histogram struct {
+	Lo, Hi float64
+	counts []int
+	total  int
+}
+
+// NewHistogram builds a histogram over [lo, hi) with the given number of
+// equal-width bins.
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs at least one bin, got %d", bins)
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("stats: histogram range [%v, %v) is empty", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, counts: make([]int, bins)}, nil
+}
+
+// Add folds one observation into the histogram.
+func (h *Histogram) Add(x float64) {
+	idx := int(float64(len(h.counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.counts) {
+		idx = len(h.counts) - 1
+	}
+	h.counts[idx]++
+	h.total++
+}
+
+// Counts returns a copy of the per-bin counts.
+func (h *Histogram) Counts() []int {
+	return append([]int(nil), h.counts...)
+}
+
+// Total returns the number of observations added.
+func (h *Histogram) Total() int { return h.total }
+
+// Fractions returns per-bin mass as fractions of the total; an empty
+// histogram yields all zeros.
+func (h *Histogram) Fractions() []float64 {
+	out := make([]float64, len(h.counts))
+	if h.total == 0 {
+		return out
+	}
+	for i, c := range h.counts {
+		out[i] = float64(c) / float64(h.total)
+	}
+	return out
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	width := (h.Hi - h.Lo) / float64(len(h.counts))
+	return h.Lo + width*(float64(i)+0.5)
+}
+
+// Render draws an ASCII bar chart of the histogram, width characters wide
+// at the tallest bin.
+func (h *Histogram) Render(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	maxCount := 0
+	for _, c := range h.counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.counts {
+		bar := 0
+		if maxCount > 0 {
+			bar = c * width / maxCount
+		}
+		fmt.Fprintf(&b, "%10.1f | %-*s %d\n", h.BinCenter(i), width, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}

@@ -1,0 +1,282 @@
+package topology
+
+import (
+	"testing"
+
+	"github.com/perigee-net/perigee/internal/geo"
+	"github.com/perigee-net/perigee/internal/rng"
+)
+
+func TestRandomTopology(t *testing.T) {
+	const n, dout, maxIn = 200, 8, 20
+	tbl, err := Random(n, dout, maxIn, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < n; u++ {
+		if got := tbl.OutDegree(u); got != dout {
+			t.Fatalf("node %d out-degree %d, want %d", u, got, dout)
+		}
+		if got := tbl.InDegree(u); got > maxIn {
+			t.Fatalf("node %d in-degree %d exceeds cap %d", u, got, maxIn)
+		}
+	}
+	if !IsConnected(tbl.Undirected()) {
+		t.Fatal("random topology with degree 8 should be connected")
+	}
+}
+
+func TestRandomTopologyDeterministic(t *testing.T) {
+	a, err := Random(50, 4, 10, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(50, 4, 10, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 50; u++ {
+		au, bu := a.OutNeighbors(u), b.OutNeighbors(u)
+		if len(au) != len(bu) {
+			t.Fatalf("node %d degree differs", u)
+		}
+		for i := range au {
+			if au[i] != bu[i] {
+				t.Fatalf("node %d neighbors differ: %v vs %v", u, au, bu)
+			}
+		}
+	}
+}
+
+func TestRandomTopologyErrors(t *testing.T) {
+	r := rng.New(1)
+	if _, err := Random(10, 0, 5, r); err == nil {
+		t.Fatal("expected error for dout=0")
+	}
+	if _, err := Random(10, 10, 5, r); err == nil {
+		t.Fatal("expected error for dout >= n")
+	}
+	if _, err := Random(10, 5, 20, nil); err == nil {
+		t.Fatal("expected error for nil rng")
+	}
+}
+
+func TestGeographicTopology(t *testing.T) {
+	u, err := geo.SampleUniverse(300, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dout, inRegion, maxIn = 8, 4, 20
+	tbl, err := Geographic(u, dout, inRegion, maxIn, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	totalLocal, total := 0, 0
+	for v := 0; v < u.N(); v++ {
+		if got := tbl.OutDegree(v); got != dout {
+			t.Fatalf("node %d out-degree %d, want %d", v, got, dout)
+		}
+		for _, w := range tbl.OutNeighbors(v) {
+			total++
+			if u.SameRegion(v, w) {
+				totalLocal++
+			}
+		}
+	}
+	// Half the connections target the local region (plus random choices
+	// landing locally by chance), so well over a quarter must be local.
+	if frac := float64(totalLocal) / float64(total); frac < 0.3 {
+		t.Fatalf("only %.2f of edges are intra-region; geographic preference not applied", frac)
+	}
+}
+
+func TestGeographicErrors(t *testing.T) {
+	u, err := geo.SampleUniverse(50, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Geographic(nil, 8, 4, 20, rng.New(1)); err == nil {
+		t.Fatal("expected error for nil universe")
+	}
+	if _, err := Geographic(u, 8, 9, 20, rng.New(1)); err == nil {
+		t.Fatal("expected error for inRegion > outDegree")
+	}
+	if _, err := Geographic(u, 8, -1, 20, rng.New(1)); err == nil {
+		t.Fatal("expected error for negative inRegion")
+	}
+	if _, err := Geographic(u, 8, 4, 20, nil); err == nil {
+		t.Fatal("expected error for nil rng")
+	}
+}
+
+func TestKademliaTopology(t *testing.T) {
+	const n, dout, maxIn = 256, 8, 20
+	tbl, err := Kademlia(n, dout, maxIn, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < n; v++ {
+		if got := tbl.OutDegree(v); got != dout {
+			t.Fatalf("node %d out-degree %d, want %d", v, got, dout)
+		}
+	}
+	if !IsConnected(tbl.Undirected()) {
+		t.Fatal("kademlia topology should be connected")
+	}
+}
+
+func TestKademliaErrors(t *testing.T) {
+	if _, err := Kademlia(10, 0, 5, rng.New(1)); err == nil {
+		t.Fatal("expected error for dout=0")
+	}
+	if _, err := Kademlia(10, 5, 20, nil); err == nil {
+		t.Fatal("expected error for nil rng")
+	}
+}
+
+func TestGeometricGraph(t *testing.T) {
+	// Four points on a line with unit spacing; radius 1.5 links adjacent
+	// points only.
+	coords := []float64{0, 1, 2, 3}
+	dist := func(u, v int) float64 {
+		d := coords[u] - coords[v]
+		if d < 0 {
+			d = -d
+		}
+		return d
+	}
+	adj, err := Geometric(4, dist, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDeg := []int{1, 2, 2, 1}
+	for u, want := range wantDeg {
+		if len(adj[u]) != want {
+			t.Fatalf("node %d degree %d, want %d (adj=%v)", u, len(adj[u]), want, adj)
+		}
+	}
+}
+
+func TestGeometricErrors(t *testing.T) {
+	dist := func(u, v int) float64 { return 1 }
+	if _, err := Geometric(0, dist, 1); err == nil {
+		t.Fatal("expected error for n=0")
+	}
+	if _, err := Geometric(5, nil, 1); err == nil {
+		t.Fatal("expected error for nil dist")
+	}
+	if _, err := Geometric(5, dist, 0); err == nil {
+		t.Fatal("expected error for radius 0")
+	}
+}
+
+func TestRandomUndirected(t *testing.T) {
+	adj, err := RandomUndirected(100, 3, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range adj {
+		if len(adj[u]) < 3 {
+			t.Fatalf("node %d has degree %d < 3", u, len(adj[u]))
+		}
+		seen := map[int]bool{}
+		for _, v := range adj[u] {
+			if v == u {
+				t.Fatalf("self loop at %d", u)
+			}
+			if seen[v] {
+				t.Fatalf("duplicate edge %d-%d", u, v)
+			}
+			seen[v] = true
+		}
+	}
+	// Symmetry.
+	for u := range adj {
+		for _, v := range adj[u] {
+			found := false
+			for _, w := range adj[v] {
+				if w == u {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d-%d not symmetric", u, v)
+			}
+		}
+	}
+}
+
+func TestRandomUndirectedErrors(t *testing.T) {
+	if _, err := RandomUndirected(1, 1, rng.New(1)); err == nil {
+		t.Fatal("expected error for n too small")
+	}
+	if _, err := RandomUndirected(10, 0, rng.New(1)); err == nil {
+		t.Fatal("expected error for degree 0")
+	}
+	if _, err := RandomUndirected(10, 3, nil); err == nil {
+		t.Fatal("expected error for nil rng")
+	}
+}
+
+func TestRelayTree(t *testing.T) {
+	members := []int{10, 20, 30, 40, 50, 60, 70}
+	edges, err := RelayTree(members, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != len(members)-1 {
+		t.Fatalf("tree has %d edges, want %d", len(edges), len(members)-1)
+	}
+	// Verify it is a tree: build adjacency over member space and check
+	// connectivity via the merged adjacency helper.
+	adj := make([][]int, 71)
+	merged := MergeAdjacency(adj, edges)
+	hops := BFSHops(merged, 10)
+	for _, m := range members {
+		if hops[m] == -1 {
+			t.Fatalf("member %d unreachable from root", m)
+		}
+	}
+	// Binary tree of 7 nodes has height 2.
+	for _, m := range members {
+		if hops[m] > 2 {
+			t.Fatalf("member %d at depth %d, want <= 2", m, hops[m])
+		}
+	}
+}
+
+func TestRelayTreeErrors(t *testing.T) {
+	if _, err := RelayTree([]int{1}, 2); err == nil {
+		t.Fatal("expected error for single member")
+	}
+	if _, err := RelayTree([]int{1, 2}, 0); err == nil {
+		t.Fatal("expected error for branching 0")
+	}
+	if _, err := RelayTree([]int{1, 2, 1}, 2); err == nil {
+		t.Fatal("expected error for duplicate member")
+	}
+}
+
+func TestMergeAdjacency(t *testing.T) {
+	adj := [][]int{{1}, {0}, {}}
+	merged := MergeAdjacency(adj, [][2]int{{1, 2}, {0, 1}, {2, 2}, {0, 5}})
+	if len(merged[1]) != 2 {
+		t.Fatalf("node 1 adjacency %v, want [0 2]", merged[1])
+	}
+	if len(merged[2]) != 1 || merged[2][0] != 1 {
+		t.Fatalf("node 2 adjacency %v, want [1]", merged[2])
+	}
+	// Self loops and out-of-range edges are ignored.
+	if len(merged[0]) != 1 {
+		t.Fatalf("node 0 adjacency %v, want [1]", merged[0])
+	}
+}

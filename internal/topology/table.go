@@ -1,0 +1,222 @@
+// Package topology provides the p2p connection substrate: a
+// degree-constrained connection table (outgoing connections per node,
+// capped incoming connections, §2.1), topology constructors for every
+// algorithm the paper evaluates (random, geographic, Kademlia-style,
+// geometric threshold graphs, relay trees), and the graph algorithms the
+// analysis sections rely on (Dijkstra, BFS, components, stretch).
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Sentinel errors returned by Table operations.
+var (
+	// ErrSelfConnection indicates an attempt to connect a node to itself.
+	ErrSelfConnection = errors.New("topology: self connection")
+	// ErrDuplicateConnection indicates the outgoing edge already exists.
+	ErrDuplicateConnection = errors.New("topology: duplicate connection")
+	// ErrIncomingFull indicates the target already has the maximum number
+	// of incoming connections and refuses new ones (§5.1).
+	ErrIncomingFull = errors.New("topology: incoming slots full")
+	// ErrNoConnection indicates a disconnect of a non-existent edge.
+	ErrNoConnection = errors.New("topology: no such connection")
+	// ErrNodeRange indicates a node index outside [0, n).
+	ErrNodeRange = errors.New("topology: node index out of range")
+)
+
+// Table tracks directed p2p connections with Bitcoin-style constraints:
+// each node initiates outgoing connections, and each node accepts at most
+// MaxIn incoming ones. Communication is bidirectional once established, so
+// the effective gossip graph is the undirected union (see Undirected).
+type Table struct {
+	n     int
+	maxIn int
+	out   []map[int]struct{}
+	in    []map[int]struct{}
+}
+
+// NewTable creates an empty table for n nodes with the given incoming cap.
+func NewTable(n, maxIn int) (*Table, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("topology: table size %d must be positive", n)
+	}
+	if maxIn <= 0 {
+		return nil, fmt.Errorf("topology: incoming cap %d must be positive", maxIn)
+	}
+	t := &Table{
+		n:     n,
+		maxIn: maxIn,
+		out:   make([]map[int]struct{}, n),
+		in:    make([]map[int]struct{}, n),
+	}
+	for i := 0; i < n; i++ {
+		t.out[i] = make(map[int]struct{})
+		t.in[i] = make(map[int]struct{})
+	}
+	return t, nil
+}
+
+// N returns the number of nodes.
+func (t *Table) N() int { return t.n }
+
+// MaxIn returns the incoming-connection cap.
+func (t *Table) MaxIn() int { return t.maxIn }
+
+func (t *Table) checkNode(u int) error {
+	if u < 0 || u >= t.n {
+		return fmt.Errorf("%w: %d (n=%d)", ErrNodeRange, u, t.n)
+	}
+	return nil
+}
+
+// Connect adds the outgoing edge u->v. It fails with ErrIncomingFull if v
+// has no incoming slots left, mirroring a declined TCP connection request.
+func (t *Table) Connect(u, v int) error {
+	if err := t.checkNode(u); err != nil {
+		return err
+	}
+	if err := t.checkNode(v); err != nil {
+		return err
+	}
+	if u == v {
+		return fmt.Errorf("%w: node %d", ErrSelfConnection, u)
+	}
+	if _, ok := t.out[u][v]; ok {
+		return fmt.Errorf("%w: %d->%d", ErrDuplicateConnection, u, v)
+	}
+	if len(t.in[v]) >= t.maxIn {
+		return fmt.Errorf("%w: node %d", ErrIncomingFull, v)
+	}
+	t.out[u][v] = struct{}{}
+	t.in[v][u] = struct{}{}
+	return nil
+}
+
+// Disconnect removes the outgoing edge u->v.
+func (t *Table) Disconnect(u, v int) error {
+	if err := t.checkNode(u); err != nil {
+		return err
+	}
+	if err := t.checkNode(v); err != nil {
+		return err
+	}
+	if _, ok := t.out[u][v]; !ok {
+		return fmt.Errorf("%w: %d->%d", ErrNoConnection, u, v)
+	}
+	delete(t.out[u], v)
+	delete(t.in[v], u)
+	return nil
+}
+
+// HasOut reports whether the outgoing edge u->v exists.
+func (t *Table) HasOut(u, v int) bool {
+	_, ok := t.out[u][v]
+	return ok
+}
+
+// OutDegree returns the number of outgoing connections of u.
+func (t *Table) OutDegree(u int) int { return len(t.out[u]) }
+
+// InDegree returns the number of incoming connections of u.
+func (t *Table) InDegree(u int) int { return len(t.in[u]) }
+
+// InFree returns the number of remaining incoming slots at u.
+func (t *Table) InFree(u int) int { return t.maxIn - len(t.in[u]) }
+
+// OutNeighbors returns u's outgoing neighbors in ascending order.
+func (t *Table) OutNeighbors(u int) []int { return sortedKeys(t.out[u]) }
+
+// InNeighbors returns u's incoming neighbors in ascending order.
+func (t *Table) InNeighbors(u int) []int { return sortedKeys(t.in[u]) }
+
+// Neighbors returns the union of u's outgoing and incoming neighbors in
+// ascending order — the set of peers u exchanges blocks with (Γ_v in the
+// paper).
+func (t *Table) Neighbors(u int) []int {
+	set := make(map[int]struct{}, len(t.out[u])+len(t.in[u]))
+	for v := range t.out[u] {
+		set[v] = struct{}{}
+	}
+	for v := range t.in[u] {
+		set[v] = struct{}{}
+	}
+	return sortedKeys(set)
+}
+
+func sortedKeys(m map[int]struct{}) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Undirected returns the symmetric adjacency lists of the communication
+// graph (outgoing ∪ incoming per node), each list ascending. The result is
+// a snapshot; it does not alias the table.
+func (t *Table) Undirected() [][]int {
+	adj := make([][]int, t.n)
+	for u := 0; u < t.n; u++ {
+		adj[u] = t.Neighbors(u)
+	}
+	return adj
+}
+
+// Clone deep-copies the table.
+func (t *Table) Clone() *Table {
+	c := &Table{
+		n:     t.n,
+		maxIn: t.maxIn,
+		out:   make([]map[int]struct{}, t.n),
+		in:    make([]map[int]struct{}, t.n),
+	}
+	for i := 0; i < t.n; i++ {
+		c.out[i] = make(map[int]struct{}, len(t.out[i]))
+		for v := range t.out[i] {
+			c.out[i][v] = struct{}{}
+		}
+		c.in[i] = make(map[int]struct{}, len(t.in[i]))
+		for v := range t.in[i] {
+			c.in[i][v] = struct{}{}
+		}
+	}
+	return c
+}
+
+// TotalEdges returns the number of directed edges in the table.
+func (t *Table) TotalEdges() int {
+	total := 0
+	for _, m := range t.out {
+		total += len(m)
+	}
+	return total
+}
+
+// Validate checks the table's internal invariants: out/in mirror each
+// other, no self loops, and the incoming cap holds. It is used by tests and
+// by the engine's failure-injection paths.
+func (t *Table) Validate() error {
+	for u := 0; u < t.n; u++ {
+		if len(t.in[u]) > t.maxIn {
+			return fmt.Errorf("topology: node %d has %d incoming, cap %d", u, len(t.in[u]), t.maxIn)
+		}
+		for v := range t.out[u] {
+			if v == u {
+				return fmt.Errorf("topology: node %d has self loop", u)
+			}
+			if _, ok := t.in[v][u]; !ok {
+				return fmt.Errorf("topology: edge %d->%d missing from in-set", u, v)
+			}
+		}
+		for v := range t.in[u] {
+			if _, ok := t.out[v][u]; !ok {
+				return fmt.Errorf("topology: in-edge %d<-%d missing from out-set", u, v)
+			}
+		}
+	}
+	return nil
+}

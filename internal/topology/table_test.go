@@ -1,0 +1,216 @@
+package topology
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"github.com/perigee-net/perigee/internal/rng"
+)
+
+func mustTable(t *testing.T, n, maxIn int) *Table {
+	t.Helper()
+	tbl, err := NewTable(n, maxIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestNewTableErrors(t *testing.T) {
+	if _, err := NewTable(0, 5); err == nil {
+		t.Fatal("expected error for n=0")
+	}
+	if _, err := NewTable(5, 0); err == nil {
+		t.Fatal("expected error for maxIn=0")
+	}
+}
+
+func TestConnectDisconnect(t *testing.T) {
+	tbl := mustTable(t, 4, 2)
+	if err := tbl.Connect(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.HasOut(0, 1) || tbl.HasOut(1, 0) {
+		t.Fatal("edge direction wrong")
+	}
+	if tbl.OutDegree(0) != 1 || tbl.InDegree(1) != 1 {
+		t.Fatal("degrees wrong")
+	}
+	if err := tbl.Disconnect(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.HasOut(0, 1) || tbl.OutDegree(0) != 0 || tbl.InDegree(1) != 0 {
+		t.Fatal("disconnect did not clean up")
+	}
+}
+
+func TestConnectErrors(t *testing.T) {
+	tbl := mustTable(t, 4, 1)
+	if err := tbl.Connect(0, 0); !errors.Is(err, ErrSelfConnection) {
+		t.Fatalf("self connect: %v", err)
+	}
+	if err := tbl.Connect(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Connect(0, 1); !errors.Is(err, ErrDuplicateConnection) {
+		t.Fatalf("duplicate connect: %v", err)
+	}
+	// Node 1 now has its single incoming slot used.
+	if err := tbl.Connect(2, 1); !errors.Is(err, ErrIncomingFull) {
+		t.Fatalf("incoming full: %v", err)
+	}
+	if err := tbl.Connect(-1, 2); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("node range: %v", err)
+	}
+	if err := tbl.Connect(0, 9); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("node range: %v", err)
+	}
+	if err := tbl.Disconnect(2, 3); !errors.Is(err, ErrNoConnection) {
+		t.Fatalf("no connection: %v", err)
+	}
+}
+
+func TestIncomingFreedByDisconnect(t *testing.T) {
+	tbl := mustTable(t, 3, 1)
+	if err := tbl.Connect(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Connect(1, 2); !errors.Is(err, ErrIncomingFull) {
+		t.Fatal("expected full")
+	}
+	if err := tbl.Disconnect(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Connect(1, 2); err != nil {
+		t.Fatalf("slot not freed: %v", err)
+	}
+	if tbl.InFree(2) != 0 {
+		t.Fatalf("InFree = %d, want 0", tbl.InFree(2))
+	}
+}
+
+func TestNeighborsUnion(t *testing.T) {
+	tbl := mustTable(t, 5, 5)
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {3, 0}, {4, 0}} {
+		if err := tbl.Connect(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := tbl.Neighbors(0)
+	want := []int{1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("neighbors = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("neighbors = %v, want %v", got, want)
+		}
+	}
+	outs := tbl.OutNeighbors(0)
+	if len(outs) != 2 || outs[0] != 1 || outs[1] != 2 {
+		t.Fatalf("out neighbors = %v", outs)
+	}
+	ins := tbl.InNeighbors(0)
+	if len(ins) != 2 || ins[0] != 3 || ins[1] != 4 {
+		t.Fatalf("in neighbors = %v", ins)
+	}
+}
+
+func TestNeighborsBothDirections(t *testing.T) {
+	// A pair connected in both directions appears once in the union.
+	tbl := mustTable(t, 2, 2)
+	if err := tbl.Connect(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Connect(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.Neighbors(0); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("neighbors = %v, want [1]", got)
+	}
+}
+
+func TestUndirectedSymmetric(t *testing.T) {
+	tbl := mustTable(t, 6, 4)
+	for _, e := range [][2]int{{0, 1}, {2, 1}, {3, 4}, {5, 0}} {
+		if err := tbl.Connect(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	adj := tbl.Undirected()
+	for u := range adj {
+		for _, v := range adj[u] {
+			found := false
+			for _, w := range adj[v] {
+				if w == u {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("adjacency not symmetric: %d in adj[%d] but not vice versa", v, u)
+			}
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	tbl := mustTable(t, 3, 2)
+	if err := tbl.Connect(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	c := tbl.Clone()
+	if err := c.Connect(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.HasOut(1, 2) {
+		t.Fatal("clone aliases original")
+	}
+	if !c.HasOut(0, 1) {
+		t.Fatal("clone lost edge")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTotalEdges(t *testing.T) {
+	tbl := mustTable(t, 4, 3)
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}
+	for _, e := range edges {
+		if err := tbl.Connect(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tbl.TotalEdges(); got != 4 {
+		t.Fatalf("TotalEdges = %d, want 4", got)
+	}
+}
+
+// Property: after any sequence of random connect/disconnect operations the
+// table's invariants hold.
+func TestTableInvariantsUnderRandomOps(t *testing.T) {
+	r := rng.New(77)
+	check := func(ops []uint32) bool {
+		const n, maxIn = 12, 3
+		tbl, err := NewTable(n, maxIn)
+		if err != nil {
+			return false
+		}
+		for _, op := range ops {
+			u := int(op>>8) % n
+			v := int(op>>16) % n
+			if op&1 == 0 {
+				_ = tbl.Connect(u, v) // errors are legal outcomes
+			} else {
+				_ = tbl.Disconnect(u, v)
+			}
+		}
+		_ = r
+		return tbl.Validate() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

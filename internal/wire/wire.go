@@ -1,0 +1,437 @@
+// Package wire defines the binary message protocol spoken by live Perigee
+// nodes: Bitcoin-flavored framing (magic, type, length, checksum) around a
+// small message set — VERSION/VERACK handshake, PING/PONG liveness,
+// INV/GETDATA/BLOCK relay, and ADDR/GETADDR peer discovery.
+//
+// All decoders are hardened against hostile input: payload sizes, item
+// counts, and string lengths are bounded before any allocation.
+package wire
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/perigee-net/perigee/internal/chain"
+)
+
+// Magic identifies the Perigee wire protocol in the frame header.
+const Magic uint32 = 0x50524749 // "PRGI"
+
+// ProtocolVersion is negotiated in the VERSION message.
+const ProtocolVersion uint32 = 1
+
+// MsgType identifies a message.
+type MsgType uint8
+
+// The protocol's message types.
+const (
+	MsgVersion MsgType = iota + 1
+	MsgVerack
+	MsgPing
+	MsgPong
+	MsgInv
+	MsgGetData
+	MsgBlock
+	MsgAddr
+	MsgGetAddr
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case MsgVersion:
+		return "version"
+	case MsgVerack:
+		return "verack"
+	case MsgPing:
+		return "ping"
+	case MsgPong:
+		return "pong"
+	case MsgInv:
+		return "inv"
+	case MsgGetData:
+		return "getdata"
+	case MsgBlock:
+		return "block"
+	case MsgAddr:
+		return "addr"
+	case MsgGetAddr:
+		return "getaddr"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// Limits protecting decoders.
+const (
+	// MaxPayload bounds a frame's payload size.
+	MaxPayload = chain.MaxBlockSize + 1024
+	// MaxInvHashes bounds hashes per INV/GETDATA.
+	MaxInvHashes = 1024
+	// MaxAddrs bounds addresses per ADDR.
+	MaxAddrs = 256
+	// MaxAddrLen bounds a single address string.
+	MaxAddrLen = 256
+)
+
+// Protocol errors.
+var (
+	// ErrBadMagic indicates a frame with the wrong network magic.
+	ErrBadMagic = errors.New("wire: bad magic")
+	// ErrChecksum indicates a frame whose payload checksum mismatched.
+	ErrChecksum = errors.New("wire: checksum mismatch")
+	// ErrTooLarge indicates a frame or element exceeding protocol limits.
+	ErrTooLarge = errors.New("wire: message too large")
+	// ErrMalformed indicates an undecodable payload.
+	ErrMalformed = errors.New("wire: malformed payload")
+	// ErrUnknownType indicates an unrecognized message type byte.
+	ErrUnknownType = errors.New("wire: unknown message type")
+)
+
+// Message is any protocol message.
+type Message interface {
+	// Type returns the message's wire type.
+	Type() MsgType
+	// encodePayload appends the message payload.
+	encodePayload(buf []byte) ([]byte, error)
+}
+
+// Version opens the handshake in both directions.
+type Version struct {
+	// Protocol is the sender's protocol version.
+	Protocol uint32
+	// NodeID is the sender's random identity (also used to detect
+	// self-connections).
+	NodeID uint64
+	// ListenAddr is the sender's accepting address ("host:port"), empty if
+	// not listening.
+	ListenAddr string
+	// Nonce is a per-connection random value.
+	Nonce uint64
+}
+
+// Type implements Message.
+func (*Version) Type() MsgType { return MsgVersion }
+
+func (m *Version) encodePayload(buf []byte) ([]byte, error) {
+	if len(m.ListenAddr) > MaxAddrLen {
+		return nil, fmt.Errorf("%w: listen addr %d bytes", ErrTooLarge, len(m.ListenAddr))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, m.Protocol)
+	buf = binary.LittleEndian.AppendUint64(buf, m.NodeID)
+	buf = appendString(buf, m.ListenAddr)
+	buf = binary.LittleEndian.AppendUint64(buf, m.Nonce)
+	return buf, nil
+}
+
+// Verack acknowledges a Version.
+type Verack struct{}
+
+// Type implements Message.
+func (*Verack) Type() MsgType { return MsgVerack }
+
+func (*Verack) encodePayload(buf []byte) ([]byte, error) { return buf, nil }
+
+// Ping probes liveness.
+type Ping struct {
+	// Nonce is echoed back in the Pong.
+	Nonce uint64
+}
+
+// Type implements Message.
+func (*Ping) Type() MsgType { return MsgPing }
+
+func (m *Ping) encodePayload(buf []byte) ([]byte, error) {
+	return binary.LittleEndian.AppendUint64(buf, m.Nonce), nil
+}
+
+// Pong answers a Ping.
+type Pong struct {
+	// Nonce matches the corresponding Ping.
+	Nonce uint64
+}
+
+// Type implements Message.
+func (*Pong) Type() MsgType { return MsgPong }
+
+func (m *Pong) encodePayload(buf []byte) ([]byte, error) {
+	return binary.LittleEndian.AppendUint64(buf, m.Nonce), nil
+}
+
+// Inv announces block availability by hash.
+type Inv struct {
+	// Hashes are the announced block hashes.
+	Hashes []chain.Hash
+}
+
+// Type implements Message.
+func (*Inv) Type() MsgType { return MsgInv }
+
+func (m *Inv) encodePayload(buf []byte) ([]byte, error) { return appendHashes(buf, m.Hashes) }
+
+// GetData requests blocks by hash.
+type GetData struct {
+	// Hashes are the requested block hashes.
+	Hashes []chain.Hash
+}
+
+// Type implements Message.
+func (*GetData) Type() MsgType { return MsgGetData }
+
+func (m *GetData) encodePayload(buf []byte) ([]byte, error) { return appendHashes(buf, m.Hashes) }
+
+// Block carries a full block.
+type Block struct {
+	// Block is the payload block.
+	Block *chain.Block
+}
+
+// Type implements Message.
+func (*Block) Type() MsgType { return MsgBlock }
+
+func (m *Block) encodePayload(buf []byte) ([]byte, error) {
+	if m.Block == nil {
+		return nil, fmt.Errorf("%w: nil block", ErrMalformed)
+	}
+	enc, err := m.Block.Encode()
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, enc...), nil
+}
+
+// Addr gossips known listening addresses.
+type Addr struct {
+	// Addrs are "host:port" strings.
+	Addrs []string
+}
+
+// Type implements Message.
+func (*Addr) Type() MsgType { return MsgAddr }
+
+func (m *Addr) encodePayload(buf []byte) ([]byte, error) {
+	if len(m.Addrs) > MaxAddrs {
+		return nil, fmt.Errorf("%w: %d addresses", ErrTooLarge, len(m.Addrs))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Addrs)))
+	for _, a := range m.Addrs {
+		if len(a) > MaxAddrLen {
+			return nil, fmt.Errorf("%w: address %d bytes", ErrTooLarge, len(a))
+		}
+		buf = appendString(buf, a)
+	}
+	return buf, nil
+}
+
+// GetAddr requests an Addr sample.
+type GetAddr struct{}
+
+// Type implements Message.
+func (*GetAddr) Type() MsgType { return MsgGetAddr }
+
+func (*GetAddr) encodePayload(buf []byte) ([]byte, error) { return buf, nil }
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+func appendHashes(buf []byte, hashes []chain.Hash) ([]byte, error) {
+	if len(hashes) > MaxInvHashes {
+		return nil, fmt.Errorf("%w: %d hashes", ErrTooLarge, len(hashes))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(hashes)))
+	for i := range hashes {
+		buf = append(buf, hashes[i][:]...)
+	}
+	return buf, nil
+}
+
+// Write frames and writes a message: magic(4) type(1) length(4)
+// checksum(4) payload. The checksum is the first 4 bytes of the payload's
+// SHA-256.
+func Write(w io.Writer, m Message) error {
+	payload, err := m.encodePayload(nil)
+	if err != nil {
+		return err
+	}
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("%w: payload %d bytes", ErrTooLarge, len(payload))
+	}
+	header := make([]byte, 0, 13)
+	header = binary.LittleEndian.AppendUint32(header, Magic)
+	header = append(header, byte(m.Type()))
+	header = binary.LittleEndian.AppendUint32(header, uint32(len(payload)))
+	sum := sha256.Sum256(payload)
+	header = append(header, sum[:4]...)
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("wire: writing header: %w", err)
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return fmt.Errorf("wire: writing payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// Read reads and decodes one framed message.
+func Read(r io.Reader) (Message, error) {
+	var header [13]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return nil, err
+	}
+	if got := binary.LittleEndian.Uint32(header[0:4]); got != Magic {
+		return nil, fmt.Errorf("%w: %08x", ErrBadMagic, got)
+	}
+	msgType := MsgType(header[4])
+	length := binary.LittleEndian.Uint32(header[5:9])
+	if length > MaxPayload {
+		return nil, fmt.Errorf("%w: payload %d bytes", ErrTooLarge, length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("wire: reading payload: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	if string(sum[:4]) != string(header[9:13]) {
+		return nil, ErrChecksum
+	}
+	return decodePayload(msgType, payload)
+}
+
+func decodePayload(t MsgType, p []byte) (Message, error) {
+	d := decoder{buf: p}
+	var m Message
+	switch t {
+	case MsgVersion:
+		v := &Version{}
+		v.Protocol = d.uint32()
+		v.NodeID = d.uint64()
+		v.ListenAddr = d.str()
+		v.Nonce = d.uint64()
+		m = v
+	case MsgVerack:
+		m = &Verack{}
+	case MsgPing:
+		m = &Ping{Nonce: d.uint64()}
+	case MsgPong:
+		m = &Pong{Nonce: d.uint64()}
+	case MsgInv:
+		m = &Inv{Hashes: d.hashes()}
+	case MsgGetData:
+		m = &GetData{Hashes: d.hashes()}
+	case MsgBlock:
+		b, err := chain.DecodeBlock(p)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		d.buf = nil // block decoding consumes everything
+		return &Block{Block: b}, nil
+	case MsgAddr:
+		a := &Addr{}
+		count := d.uint32()
+		if count > MaxAddrs {
+			return nil, fmt.Errorf("%w: %d addresses", ErrTooLarge, count)
+		}
+		for i := uint32(0); i < count && d.err == nil; i++ {
+			a.Addrs = append(a.Addrs, d.str())
+		}
+		m = a
+	case MsgGetAddr:
+		m = &GetAddr{}
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, uint8(t))
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes in %v", ErrMalformed, len(d.buf), t)
+	}
+	return m, nil
+}
+
+// decoder is a cursor over a payload that records the first error.
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.buf) < n {
+		d.err = fmt.Errorf("%w: truncated field", ErrMalformed)
+		return nil
+	}
+	out := d.buf[:n]
+	d.buf = d.buf[n:]
+	return out
+}
+
+func (d *decoder) uint16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (d *decoder) uint32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) uint64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *decoder) str() string {
+	n := int(d.uint16())
+	if d.err != nil {
+		return ""
+	}
+	if n > MaxAddrLen {
+		d.err = fmt.Errorf("%w: string of %d bytes", ErrTooLarge, n)
+		return ""
+	}
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+func (d *decoder) hashes() []chain.Hash {
+	count := d.uint32()
+	if d.err != nil {
+		return nil
+	}
+	if count > MaxInvHashes {
+		d.err = fmt.Errorf("%w: %d hashes", ErrTooLarge, count)
+		return nil
+	}
+	out := make([]chain.Hash, 0, count)
+	for i := uint32(0); i < count; i++ {
+		b := d.take(32)
+		if b == nil {
+			return nil
+		}
+		var h chain.Hash
+		copy(h[:], b)
+		out = append(out, h)
+	}
+	return out
+}

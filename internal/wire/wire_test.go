@@ -1,0 +1,276 @@
+package wire
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/perigee-net/perigee/internal/chain"
+)
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatalf("write %v: %v", m.Type(), err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("read %v: %v", m.Type(), err)
+	}
+	if got.Type() != m.Type() {
+		t.Fatalf("type changed: %v -> %v", m.Type(), got.Type())
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%d trailing bytes after read", buf.Len())
+	}
+	return got
+}
+
+func TestVersionRoundTrip(t *testing.T) {
+	in := &Version{Protocol: 1, NodeID: 0xdeadbeef, ListenAddr: "127.0.0.1:8333", Nonce: 42}
+	got := roundTrip(t, in).(*Version)
+	if *got != *in {
+		t.Fatalf("got %+v, want %+v", got, in)
+	}
+}
+
+func TestEmptyMessagesRoundTrip(t *testing.T) {
+	roundTrip(t, &Verack{})
+	roundTrip(t, &GetAddr{})
+}
+
+func TestPingPongRoundTrip(t *testing.T) {
+	ping := roundTrip(t, &Ping{Nonce: 7}).(*Ping)
+	if ping.Nonce != 7 {
+		t.Fatal("ping nonce lost")
+	}
+	pong := roundTrip(t, &Pong{Nonce: 9}).(*Pong)
+	if pong.Nonce != 9 {
+		t.Fatal("pong nonce lost")
+	}
+}
+
+func TestInvGetDataRoundTrip(t *testing.T) {
+	hashes := []chain.Hash{{1, 2}, {3, 4}, {5}}
+	inv := roundTrip(t, &Inv{Hashes: hashes}).(*Inv)
+	if len(inv.Hashes) != 3 || inv.Hashes[0] != hashes[0] || inv.Hashes[2] != hashes[2] {
+		t.Fatalf("inv hashes corrupted: %v", inv.Hashes)
+	}
+	gd := roundTrip(t, &GetData{Hashes: hashes[:1]}).(*GetData)
+	if len(gd.Hashes) != 1 || gd.Hashes[0] != hashes[0] {
+		t.Fatalf("getdata hashes corrupted: %v", gd.Hashes)
+	}
+	empty := roundTrip(t, &Inv{}).(*Inv)
+	if len(empty.Hashes) != 0 {
+		t.Fatal("empty inv grew hashes")
+	}
+}
+
+func TestBlockRoundTrip(t *testing.T) {
+	g := chain.NewGenesis("wire")
+	blk := chain.NewBlock(g, [][]byte{[]byte("tx1"), []byte("tx2")}, time.UnixMilli(99), 3)
+	got := roundTrip(t, &Block{Block: blk}).(*Block)
+	if got.Block.Header.Hash() != blk.Header.Hash() {
+		t.Fatal("block hash changed in transit")
+	}
+	if len(got.Block.Txs) != 2 {
+		t.Fatal("txs lost in transit")
+	}
+}
+
+func TestAddrRoundTrip(t *testing.T) {
+	in := &Addr{Addrs: []string{"1.2.3.4:8333", "[::1]:9000", ""}}
+	got := roundTrip(t, in).(*Addr)
+	if len(got.Addrs) != 3 || got.Addrs[0] != in.Addrs[0] || got.Addrs[1] != in.Addrs[1] || got.Addrs[2] != "" {
+		t.Fatalf("addrs corrupted: %v", got.Addrs)
+	}
+}
+
+func TestChecksumRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &Ping{Nonce: 1}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-1] ^= 0xff // corrupt payload
+	_, err := Read(bytes.NewReader(raw))
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("got %v, want checksum error", err)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &Verack{}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[0] ^= 0xff
+	_, err := Read(bytes.NewReader(raw))
+	if !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("got %v, want bad magic", err)
+	}
+}
+
+func TestOversizeRejected(t *testing.T) {
+	tooMany := make([]chain.Hash, MaxInvHashes+1)
+	var buf bytes.Buffer
+	if err := Write(&buf, &Inv{Hashes: tooMany}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("encode oversize inv: %v", err)
+	}
+	addrs := make([]string, MaxAddrs+1)
+	if err := Write(&buf, &Addr{Addrs: addrs}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("encode oversize addr: %v", err)
+	}
+	long := &Version{ListenAddr: string(make([]byte, MaxAddrLen+1))}
+	if err := Write(&buf, long); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("encode oversize listen addr: %v", err)
+	}
+}
+
+func TestDeclaredOversizePayloadRejected(t *testing.T) {
+	// A hand-built frame declaring a payload above MaxPayload must be
+	// rejected before allocation.
+	var frame bytes.Buffer
+	frame.Write([]byte{0x49, 0x47, 0x52, 0x50}) // magic LE
+	frame.WriteByte(byte(MsgPing))
+	frame.Write([]byte{0xff, 0xff, 0xff, 0xff}) // length = 4 GiB
+	frame.Write([]byte{0, 0, 0, 0})
+	_, err := Read(&frame)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("got %v, want too large", err)
+	}
+}
+
+func TestUnknownTypeRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &Verack{}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[4] = 0xEE // unknown type byte
+	_, err := Read(bytes.NewReader(raw))
+	if !errors.Is(err, ErrUnknownType) {
+		t.Fatalf("got %v, want unknown type", err)
+	}
+}
+
+func TestTruncatedStreamRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &Ping{Nonce: 5}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for cut := 1; cut < len(raw); cut++ {
+		if _, err := Read(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestTrailingGarbageInPayloadRejected(t *testing.T) {
+	// Manually craft a ping with 9-byte payload (one byte extra).
+	payload := make([]byte, 9)
+	var frame bytes.Buffer
+	frame.Write([]byte{0x49, 0x47, 0x52, 0x50})
+	frame.WriteByte(byte(MsgPing))
+	frame.Write([]byte{9, 0, 0, 0})
+	sum := checksumOf(payload)
+	frame.Write(sum)
+	frame.Write(payload)
+	_, err := Read(&frame)
+	if !errors.Is(err, ErrMalformed) {
+		t.Fatalf("got %v, want malformed", err)
+	}
+}
+
+func checksumOf(payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	return sum[:4]
+}
+
+func TestMsgTypeString(t *testing.T) {
+	names := map[MsgType]string{
+		MsgVersion: "version", MsgVerack: "verack", MsgPing: "ping",
+		MsgPong: "pong", MsgInv: "inv", MsgGetData: "getdata",
+		MsgBlock: "block", MsgAddr: "addr", MsgGetAddr: "getaddr",
+	}
+	for typ, want := range names {
+		if typ.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", typ, typ.String(), want)
+		}
+	}
+	if MsgType(200).String() != "MsgType(200)" {
+		t.Fatal("unknown type string wrong")
+	}
+}
+
+// Property: every well-formed Version round-trips exactly.
+func TestVersionRoundTripProperty(t *testing.T) {
+	check := func(protocol uint32, nodeID, nonce uint64, addr string) bool {
+		if len(addr) > MaxAddrLen {
+			addr = addr[:MaxAddrLen]
+		}
+		in := &Version{Protocol: protocol, NodeID: nodeID, ListenAddr: addr, Nonce: nonce}
+		var buf bytes.Buffer
+		if err := Write(&buf, in); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		v, ok := got.(*Version)
+		return ok && *v == *in
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random byte streams never panic the reader; they error or
+// decode cleanly.
+func TestReaderNeverPanics(t *testing.T) {
+	check := func(raw []byte) bool {
+		r := bytes.NewReader(raw)
+		for {
+			_, err := Read(r)
+			if err != nil {
+				return true // any clean error is fine
+			}
+			if r.Len() == 0 {
+				return true
+			}
+		}
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultipleMessagesOnStream(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []Message{&Ping{Nonce: 1}, &Verack{}, &Inv{Hashes: []chain.Hash{{7}}}}
+	for _, m := range msgs {
+		if err := Write(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if got.Type() != want.Type() {
+			t.Fatalf("message %d: type %v, want %v", i, got.Type(), want.Type())
+		}
+	}
+	if _, err := Read(&buf); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}

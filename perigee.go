@@ -1,0 +1,278 @@
+// Package perigee is a Go implementation of Perigee, the decentralized
+// peer-to-peer topology learning protocol for blockchains (Mao et al.,
+// PODC 2020), together with the full simulation stack used to evaluate it:
+// geographic latency models, degree-constrained topologies, baseline
+// connection policies, a block-propagation simulator, and a live TCP node.
+//
+// The quickest way in is Network: build one with New, run protocol rounds
+// with Step or Run, and measure block propagation with BroadcastDelays.
+//
+//	cfg := perigee.DefaultConfig(300)
+//	net, err := perigee.New(cfg)
+//	...
+//	before, _ := net.BroadcastDelays(0.9)
+//	net.Run(20)
+//	after, _ := net.BroadcastDelays(0.9)
+//
+// The experiment harness reproducing the paper's figures is exposed via
+// RunExperiment; the live TCP implementation lives in internal/p2p and is
+// driven by the cmd/perigee-node and cmd/perigee-cluster binaries.
+package perigee
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/perigee-net/perigee/internal/core"
+	"github.com/perigee-net/perigee/internal/experiments"
+	"github.com/perigee-net/perigee/internal/geo"
+	"github.com/perigee-net/perigee/internal/hashpower"
+	"github.com/perigee-net/perigee/internal/latency"
+	"github.com/perigee-net/perigee/internal/rng"
+	"github.com/perigee-net/perigee/internal/topology"
+)
+
+// Scoring selects the neighbor-scoring rule (§4 of the paper).
+type Scoring int
+
+// The three scoring rules.
+const (
+	// ScoringVanilla scores each neighbor independently (§4.2.1).
+	ScoringVanilla Scoring = iota
+	// ScoringUCB uses confidence bounds over accumulated history (§4.2.2).
+	ScoringUCB
+	// ScoringSubset scores groups of neighbors jointly (§4.3); the paper's
+	// preferred variant.
+	ScoringSubset
+)
+
+// String returns the paper's name for the scoring rule.
+func (s Scoring) String() string { return s.method().String() }
+
+func (s Scoring) method() core.Method {
+	switch s {
+	case ScoringUCB:
+		return core.UCB
+	case ScoringSubset:
+		return core.Subset
+	default:
+		return core.Vanilla
+	}
+}
+
+// HashPower selects the mining-power distribution across nodes.
+type HashPower int
+
+// Supported hash-power distributions.
+const (
+	// PowerUniform gives every node equal power (§5.2, Figure 3a).
+	PowerUniform HashPower = iota
+	// PowerExponential draws power from Exponential(1), normalized
+	// (Figure 3b).
+	PowerExponential
+	// PowerPools gives 10% of the nodes 90% of the power (Figure 4b).
+	PowerPools
+)
+
+// Config assembles a simulated Perigee network.
+type Config struct {
+	// Nodes is the network size.
+	Nodes int
+	// Seed roots all randomness; equal seeds reproduce runs exactly.
+	Seed uint64
+	// Scoring picks the Perigee variant. Default ScoringSubset.
+	Scoring Scoring
+	// OutDegree is the number of outgoing connections (default 8).
+	OutDegree int
+	// MaxIncoming caps incoming connections (default 20).
+	MaxIncoming int
+	// Explore is the number of random exploration links per round
+	// (default 2; ignored by ScoringUCB).
+	Explore int
+	// RoundBlocks is the number of blocks per round (default 100, or 1
+	// for ScoringUCB).
+	RoundBlocks int
+	// Percentile is the scoring quantile (default 0.9).
+	Percentile float64
+	// MeanValidation is the per-node block validation delay (default
+	// 50ms, applied uniformly as in the paper's evaluation).
+	MeanValidation time.Duration
+	// HashPower selects the power distribution (default PowerUniform).
+	HashPower HashPower
+}
+
+// DefaultConfig returns the paper's evaluation parameters for a network of
+// the given size.
+func DefaultConfig(nodes int) Config {
+	return Config{
+		Nodes:          nodes,
+		Seed:           1,
+		Scoring:        ScoringSubset,
+		OutDegree:      8,
+		MaxIncoming:    20,
+		Explore:        2,
+		RoundBlocks:    100,
+		Percentile:     0.9,
+		MeanValidation: 50 * time.Millisecond,
+		HashPower:      PowerUniform,
+	}
+}
+
+// Network is a simulated p2p network running the Perigee protocol.
+type Network struct {
+	cfg    Config
+	engine *core.Engine
+}
+
+// New builds the network: it samples a geographic universe and latency
+// model, seeds a random topology, and prepares the protocol engine.
+func New(cfg Config) (*Network, error) {
+	applyDefaults(&cfg)
+	if cfg.Nodes < 10 {
+		return nil, fmt.Errorf("perigee: need at least 10 nodes, got %d", cfg.Nodes)
+	}
+	root := rng.New(cfg.Seed)
+	universe, err := geo.SampleUniverse(cfg.Nodes, root.Derive("universe"))
+	if err != nil {
+		return nil, err
+	}
+	lat, err := latency.NewGeographic(universe, root.Derive("latency"))
+	if err != nil {
+		return nil, err
+	}
+	table, err := topology.Random(cfg.Nodes, cfg.OutDegree, cfg.MaxIncoming, root.Derive("topology"))
+	if err != nil {
+		return nil, err
+	}
+	var power []float64
+	switch cfg.HashPower {
+	case PowerExponential:
+		power, err = hashpower.Exponential(cfg.Nodes, root.Derive("power"))
+	case PowerPools:
+		power, _, err = hashpower.Pools(cfg.Nodes, 0.1, 0.9, root.Derive("power"))
+	default:
+		power, err = hashpower.Uniform(cfg.Nodes)
+	}
+	if err != nil {
+		return nil, err
+	}
+	forward := make([]time.Duration, cfg.Nodes)
+	for i := range forward {
+		forward[i] = cfg.MeanValidation
+	}
+	params := core.DefaultParams(cfg.Scoring.method())
+	params.OutDegree = cfg.OutDegree
+	if cfg.Scoring != ScoringUCB {
+		params.Explore = cfg.Explore
+		params.RoundBlocks = cfg.RoundBlocks
+	}
+	params.Percentile = cfg.Percentile
+	engine, err := core.NewEngine(core.Config{
+		Method:  cfg.Scoring.method(),
+		Params:  params,
+		Table:   table,
+		Latency: lat,
+		Forward: forward,
+		Power:   power,
+		Rand:    root.Derive("engine"),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Network{cfg: cfg, engine: engine}, nil
+}
+
+func applyDefaults(cfg *Config) {
+	base := DefaultConfig(cfg.Nodes)
+	if cfg.OutDegree == 0 {
+		cfg.OutDegree = base.OutDegree
+	}
+	if cfg.MaxIncoming == 0 {
+		cfg.MaxIncoming = base.MaxIncoming
+	}
+	if cfg.Explore == 0 {
+		cfg.Explore = base.Explore
+	}
+	if cfg.RoundBlocks == 0 {
+		cfg.RoundBlocks = base.RoundBlocks
+	}
+	if cfg.Percentile == 0 {
+		cfg.Percentile = base.Percentile
+	}
+	if cfg.MeanValidation == 0 {
+		cfg.MeanValidation = base.MeanValidation
+	}
+}
+
+// RoundSummary reports one protocol round.
+type RoundSummary struct {
+	// Round is the 1-based round index.
+	Round int
+	// Blocks is the number of blocks broadcast during the round.
+	Blocks int
+	// ConnectionsDropped counts outgoing links disconnected by scoring.
+	ConnectionsDropped int
+	// ConnectionsAdded counts exploration links established.
+	ConnectionsAdded int
+}
+
+// Step runs one Perigee round (broadcasts, scoring, neighbor update).
+func (n *Network) Step() (RoundSummary, error) {
+	rep, err := n.engine.Step()
+	if err != nil {
+		return RoundSummary{}, err
+	}
+	return RoundSummary{
+		Round:              rep.Round,
+		Blocks:             rep.Blocks,
+		ConnectionsDropped: rep.Dropped,
+		ConnectionsAdded:   rep.Added,
+	}, nil
+}
+
+// Run executes the given number of rounds.
+func (n *Network) Run(rounds int) error {
+	_, err := n.engine.Run(rounds)
+	return err
+}
+
+// Rounds returns how many rounds have completed.
+func (n *Network) Rounds() int { return n.engine.Round() }
+
+// BroadcastDelays returns, for every node v, the paper's metric λ_v: the
+// time for a block mined by v to reach nodes holding at least frac of the
+// network's hash power on the current topology.
+func (n *Network) BroadcastDelays(frac float64) ([]time.Duration, error) {
+	return n.engine.Delays(frac, nil)
+}
+
+// Adjacency returns the current undirected communication graph as
+// adjacency lists.
+func (n *Network) Adjacency() [][]int { return n.engine.Adjacency() }
+
+// OutNeighbors returns node v's current outgoing neighbor set.
+func (n *Network) OutNeighbors(v int) []int { return n.engine.Table().OutNeighbors(v) }
+
+// ExperimentOptions configures a paper-figure reproduction; it re-exports
+// the experiment harness options.
+type ExperimentOptions = experiments.Options
+
+// ExperimentResult is a reproduced figure; see Render for a text report.
+type ExperimentResult = experiments.Result
+
+// DefaultExperimentOptions mirrors the paper's evaluation scale
+// (1000 nodes, 3 trials).
+func DefaultExperimentOptions() ExperimentOptions { return experiments.DefaultOptions() }
+
+// QuickExperimentOptions is a scaled-down configuration (300 nodes, 1
+// trial) where the paper's qualitative results still hold.
+func QuickExperimentOptions() ExperimentOptions { return experiments.ShortOptions() }
+
+// Experiments lists the reproducible figure IDs.
+func Experiments() []string { return experiments.IDs() }
+
+// RunExperiment reproduces one of the paper's figures by ID (see
+// Experiments for the list).
+func RunExperiment(id string, opt ExperimentOptions) (*ExperimentResult, error) {
+	return experiments.Run(id, opt)
+}

@@ -1,0 +1,146 @@
+package perigee
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScoringString(t *testing.T) {
+	if ScoringVanilla.String() != "Perigee-Vanilla" {
+		t.Fatalf("got %q", ScoringVanilla.String())
+	}
+	if ScoringUCB.String() != "Perigee-UCB" {
+		t.Fatalf("got %q", ScoringUCB.String())
+	}
+	if ScoringSubset.String() != "Perigee-Subset" {
+		t.Fatalf("got %q", ScoringSubset.String())
+	}
+}
+
+func TestNewValidatesSize(t *testing.T) {
+	if _, err := New(Config{Nodes: 3}); err == nil {
+		t.Fatal("expected error for tiny network")
+	}
+}
+
+func TestNetworkLifecycle(t *testing.T) {
+	cfg := DefaultConfig(60)
+	cfg.RoundBlocks = 10
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := net.BroadcastDelays(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) != 60 {
+		t.Fatalf("got %d delays, want 60", len(before))
+	}
+	sum, err := net.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Round != 1 || sum.Blocks != 10 {
+		t.Fatalf("round summary %+v", sum)
+	}
+	if sum.ConnectionsDropped == 0 || sum.ConnectionsAdded == 0 {
+		t.Fatalf("round should churn connections: %+v", sum)
+	}
+	if err := net.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	if net.Rounds() != 3 {
+		t.Fatalf("rounds = %d, want 3", net.Rounds())
+	}
+	if got := len(net.OutNeighbors(0)); got != 8 {
+		t.Fatalf("out-degree %d, want 8", got)
+	}
+	adj := net.Adjacency()
+	if len(adj) != 60 {
+		t.Fatalf("adjacency covers %d nodes", len(adj))
+	}
+}
+
+func TestNetworkDeterministicAcrossRuns(t *testing.T) {
+	build := func() []time.Duration {
+		cfg := DefaultConfig(50)
+		cfg.RoundBlocks = 5
+		cfg.Seed = 99
+		net, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Run(2); err != nil {
+			t.Fatal(err)
+		}
+		ds, err := net.BroadcastDelays(0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ds
+	}
+	a, b := build(), build()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("node %d delay differs across identical runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestHashPowerVariants(t *testing.T) {
+	for _, hp := range []HashPower{PowerUniform, PowerExponential, PowerPools} {
+		cfg := DefaultConfig(50)
+		cfg.HashPower = hp
+		cfg.RoundBlocks = 5
+		net, err := New(cfg)
+		if err != nil {
+			t.Fatalf("hash power %d: %v", hp, err)
+		}
+		if _, err := net.Step(); err != nil {
+			t.Fatalf("hash power %d: %v", hp, err)
+		}
+	}
+}
+
+func TestScoringVariants(t *testing.T) {
+	for _, s := range []Scoring{ScoringVanilla, ScoringUCB, ScoringSubset} {
+		cfg := DefaultConfig(50)
+		cfg.Scoring = s
+		cfg.RoundBlocks = 5
+		net, err := New(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if _, err := net.Step(); err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	ids := Experiments()
+	if len(ids) == 0 {
+		t.Fatal("no experiments exposed")
+	}
+	opt := QuickExperimentOptions()
+	opt.Nodes = 300
+	opt.Trials = 1
+	res, err := RunExperiment("figure1", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "figure1" || res.Render() == "" {
+		t.Fatal("experiment facade broken")
+	}
+	if _, err := RunExperiment("bogus", opt); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestDefaultExperimentOptionsScale(t *testing.T) {
+	opt := DefaultExperimentOptions()
+	if opt.Nodes != 1000 || opt.Trials != 3 {
+		t.Fatalf("default experiment options changed: %+v", opt)
+	}
+}
