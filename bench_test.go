@@ -26,9 +26,12 @@ import (
 
 // benchFigureOptions is the figure-bench scale: large enough that every
 // qualitative result of the paper holds, small enough for a laptop pass.
+// Workers = 0 runs trials and broadcasts on all cores; results are
+// identical to a -workers=1 pass.
 func benchFigureOptions() experiments.Options {
 	opt := experiments.ShortOptions()
 	opt.Rounds = 10
+	opt.Workers = 0
 	return opt
 }
 
@@ -281,6 +284,68 @@ func BenchmarkMicroEngineRound(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchEngine builds a Subset engine at the given scale and worker count.
+func benchEngine(b *testing.B, n, workers int) *core.Engine {
+	b.Helper()
+	root := rng.New(9)
+	u, err := geo.SampleUniverse(n, root.Derive("universe"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	lat, err := latency.NewGeographic(u, root.Derive("latency"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl, err := topology.Random(n, 8, 20, root.Derive("topology"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	forward := make([]time.Duration, n)
+	for i := range forward {
+		forward[i] = 50 * time.Millisecond
+	}
+	power := make([]float64, n)
+	for i := range power {
+		power[i] = 1.0 / float64(n)
+	}
+	params := core.DefaultParams(core.Subset)
+	params.RoundBlocks = 100
+	engine, err := core.NewEngine(core.Config{
+		Method: core.Subset, Params: params, Table: tbl,
+		Latency: lat, Forward: forward, Power: power,
+		Rand: root.Derive("engine"), Workers: workers,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return engine
+}
+
+// BenchmarkEngineRoundSequential measures one 100-block protocol round on a
+// 500-node network with a single worker — the pre-parallelism baseline.
+func BenchmarkEngineRoundSequential(b *testing.B) {
+	engine := benchEngine(b, 500, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineRoundParallel is the same round fanned out over all cores;
+// compare against BenchmarkEngineRoundSequential for the parallel speedup
+// (the reports and resulting topology are identical by construction).
+func BenchmarkEngineRoundParallel(b *testing.B) {
+	engine := benchEngine(b, 500, 0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := engine.Step(); err != nil {

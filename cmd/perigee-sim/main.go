@@ -27,6 +27,7 @@ func main() {
 		trials     = flag.Int("trials", 0, "override trial count")
 		rounds     = flag.Int("rounds", 0, "override Perigee round count")
 		seed       = flag.Uint64("seed", 0, "override root seed")
+		workers    = flag.Int("workers", 0, "worker goroutines for trials/broadcasts (0 = all cores; results are identical for any value)")
 		out        = flag.String("out", "", "also append rendered results to this file")
 	)
 	flag.Parse()
@@ -55,6 +56,7 @@ func main() {
 	if *seed != 0 {
 		opt.Seed = *seed
 	}
+	opt.Workers = *workers
 
 	var ids []string
 	switch {

@@ -1,0 +1,3 @@
+module github.com/perigee-net/perigee
+
+go 1.22

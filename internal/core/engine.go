@@ -9,6 +9,7 @@ import (
 	"github.com/perigee-net/perigee/internal/hashpower"
 	"github.com/perigee-net/perigee/internal/latency"
 	"github.com/perigee-net/perigee/internal/netsim"
+	"github.com/perigee-net/perigee/internal/parallel"
 	"github.com/perigee-net/perigee/internal/rng"
 	"github.com/perigee-net/perigee/internal/stats"
 	"github.com/perigee-net/perigee/internal/topology"
@@ -111,6 +112,12 @@ type Config struct {
 	SendInterval []time.Duration
 	// Rand drives source sampling and exploration.
 	Rand *rng.RNG
+	// Workers bounds the goroutines used for round broadcasts, scoring
+	// decisions, and delay evaluation. Zero (or negative) means one worker
+	// per available core. Results are bit-for-bit identical for any worker
+	// count: block sources are pre-sampled from the engine RNG, and every
+	// worker writes only into per-block (or per-source) storage.
+	Workers int
 }
 
 // Engine runs the Perigee protocol round by round over the simulated
@@ -129,6 +136,7 @@ type Engine struct {
 	sendInterval []time.Duration
 	rand         *rng.RNG
 	sampler      *hashpower.Sampler
+	workers      int
 
 	round int
 	// ucbHist[v][u] accumulates finite offsets for v's outgoing neighbor u
@@ -211,6 +219,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		sendInterval: cfg.SendInterval,
 		rand:         cfg.Rand,
 		sampler:      sampler,
+		workers:      cfg.Workers,
 	}
 	if cfg.Method == UCB {
 		e.ucbHist = make([]map[int][]time.Duration, n)
@@ -242,6 +251,19 @@ func (e *Engine) Adjacency() [][]int {
 	return topology.MergeAdjacency(e.table.Undirected(), e.pinned)
 }
 
+// workerCount resolves the configured worker bound against the number of
+// independent work items.
+func (e *Engine) workerCount(items int) int {
+	w := parallel.Workers(e.workers)
+	if w > items {
+		w = items
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 func (e *Engine) newSimulator() (*netsim.Simulator, error) {
 	return netsim.New(netsim.Config{
 		Adj:          e.Adjacency(),
@@ -255,6 +277,13 @@ func (e *Engine) newSimulator() (*netsim.Simulator, error) {
 // Step runs one full protocol round: broadcast RoundBlocks blocks, collect
 // per-neighbor observations at every node, then synchronously update every
 // node's outgoing connections.
+//
+// The round's blocks are independent given the fixed start-of-round
+// topology, so they fan out over a worker pool: sources are pre-sampled
+// from the engine RNG (preserving the sequential stream), each worker owns
+// a private netsim.Broadcaster over the shared simulator, and block b's
+// observations land in the per-block rows obs[v].Offsets[b], making the
+// scoring input independent of worker scheduling.
 func (e *Engine) Step() (RoundReport, error) {
 	n := e.table.N()
 	sim, err := e.newSimulator()
@@ -283,12 +312,21 @@ func (e *Engine) Step() (RoundReport, error) {
 		obs[v] = NewObservations(outs[v], e.params.RoundBlocks)
 	}
 
-	// Broadcast phase.
-	for b := 0; b < e.params.RoundBlocks; b++ {
-		src := e.sampler.Sample(e.rand)
-		res, err := sim.Broadcast(src)
+	// Broadcast phase. All RNG draws happen up front, on the single engine
+	// stream, in block order.
+	sources := make([]int, e.params.RoundBlocks)
+	for b := range sources {
+		sources[b] = e.sampler.Sample(e.rand)
+	}
+	workers := e.workerCount(len(sources))
+	bcs := make([]*netsim.Broadcaster, workers)
+	for w := range bcs {
+		bcs[w] = sim.NewBroadcaster()
+	}
+	err = parallel.ForEachIndexed(len(sources), workers, func(worker, b int) error {
+		res, err := bcs[worker].Broadcast(sources[b])
 		if err != nil {
-			return RoundReport{}, err
+			return err
 		}
 		for v := 0; v < n; v++ {
 			row := res.EdgeArrival[v]
@@ -311,6 +349,10 @@ func (e *Engine) Step() (RoundReport, error) {
 				}
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return RoundReport{}, err
 	}
 
 	report, err := e.update(obs)
@@ -326,14 +368,16 @@ func (e *Engine) Step() (RoundReport, error) {
 // update applies the method-specific neighbor update synchronously at all
 // nodes: first every node decides which neighbors to keep, then all drops
 // happen, then all exploration connections are established in random node
-// order.
+// order. The decide phase is pure per node (it reads only obs[v] and
+// e.ucbHist[v]), so it fans out over the worker pool; the table mutations
+// and RNG-driven exploration stay sequential.
 func (e *Engine) update(obs []Observations) (RoundReport, error) {
 	n := e.table.N()
 	var report RoundReport
 	drop := make([][]int, n) // node IDs to disconnect, per node
-	for v := 0; v < n; v++ {
+	err := parallel.ForEachIndexed(n, e.workerCount(n), func(_, v int) error {
 		if e.frozen != nil && e.frozen[v] {
-			continue
+			return nil
 		}
 		switch e.method {
 		case Vanilla:
@@ -343,6 +387,10 @@ func (e *Engine) update(obs []Observations) (RoundReport, error) {
 		case UCB:
 			drop[v] = e.decideUCB(v, obs[v])
 		}
+		return nil
+	})
+	if err != nil {
+		return report, err
 	}
 	for v := 0; v < n; v++ {
 		for _, u := range drop[v] {
@@ -511,7 +559,9 @@ func (e *Engine) Run(rounds int) (RoundReport, error) {
 // (all nodes when nil): the time for a block mined by v to reach nodes
 // holding at least frac of the total hash power, on the current topology.
 // With upload serialization configured, the event simulation is used
-// instead of the analytic pass.
+// instead of the analytic pass. Sources are evaluated in parallel on the
+// engine's worker pool; the output is indexed by source, so it is
+// independent of worker count.
 func (e *Engine) Delays(frac float64, sources []int) ([]time.Duration, error) {
 	sim, err := e.newSimulator()
 	if err != nil {
@@ -520,16 +570,19 @@ func (e *Engine) Delays(frac float64, sources []int) ([]time.Duration, error) {
 	if sources == nil {
 		sources = allNodes(e.table.N())
 	}
+	workers := e.workerCount(len(sources))
+	bcs := e.newBroadcasters(sim, workers)
 	out := make([]time.Duration, len(sources))
-	for i, src := range sources {
-		arrival, err := e.arrivalFor(sim, src)
+	err = parallel.ForEachIndexed(len(sources), workers, func(worker, i int) error {
+		arrival, err := e.arrivalFor(sim, bcs, worker, sources[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		out[i], err = netsim.DelayToFraction(arrival, e.power, frac)
-		if err != nil {
-			return nil, err
-		}
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -542,11 +595,25 @@ func allNodes(n int) []int {
 	return out
 }
 
-func (e *Engine) arrivalFor(sim *netsim.Simulator, src int) ([]time.Duration, error) {
+// newBroadcasters prepares per-worker broadcast contexts when the event
+// simulation is needed (serialized uploads); the analytic pass is stateless
+// and needs none.
+func (e *Engine) newBroadcasters(sim *netsim.Simulator, workers int) []*netsim.Broadcaster {
 	if e.sendInterval == nil {
+		return nil
+	}
+	bcs := make([]*netsim.Broadcaster, workers)
+	for w := range bcs {
+		bcs[w] = sim.NewBroadcaster()
+	}
+	return bcs
+}
+
+func (e *Engine) arrivalFor(sim *netsim.Simulator, bcs []*netsim.Broadcaster, worker, src int) ([]time.Duration, error) {
+	if bcs == nil {
 		return sim.ArrivalAnalytic(src)
 	}
-	res, err := sim.Broadcast(src)
+	res, err := bcs[worker].Broadcast(src)
 	if err != nil {
 		return nil, err
 	}
@@ -556,7 +623,10 @@ func (e *Engine) arrivalFor(sim *netsim.Simulator, src int) ([]time.Duration, er
 // ReceiveDelays computes the complementary metric: for each node v, the
 // mean time for v to receive blocks mined by the given sources. This is
 // what a free-riding node cares about — the incentive experiments compare
-// it between honest and silent nodes.
+// it between honest and silent nodes. Sources fan out over the worker
+// pool; each worker accumulates into private sums that are merged in
+// worker order (duration addition is exact integer math, so the merge is
+// independent of scheduling).
 func (e *Engine) ReceiveDelays(sources []int) ([]time.Duration, error) {
 	sim, err := e.newSimulator()
 	if err != nil {
@@ -566,19 +636,38 @@ func (e *Engine) ReceiveDelays(sources []int) ([]time.Duration, error) {
 		sources = allNodes(e.table.N())
 	}
 	n := e.table.N()
-	sums := make([]time.Duration, n)
-	censored := make([]bool, n)
-	for _, src := range sources {
-		arrival, err := e.arrivalFor(sim, src)
+	workers := e.workerCount(len(sources))
+	bcs := e.newBroadcasters(sim, workers)
+	partialSums := make([][]time.Duration, workers)
+	partialCensored := make([][]bool, workers)
+	for w := 0; w < workers; w++ {
+		partialSums[w] = make([]time.Duration, n)
+		partialCensored[w] = make([]bool, n)
+	}
+	err = parallel.ForEachIndexed(len(sources), workers, func(worker, i int) error {
+		arrival, err := e.arrivalFor(sim, bcs, worker, sources[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
+		sums, censored := partialSums[worker], partialCensored[worker]
 		for v := 0; v < n; v++ {
 			if arrival[v] == stats.InfDuration {
 				censored[v] = true
 				continue
 			}
 			sums[v] += arrival[v]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sums := make([]time.Duration, n)
+	censored := make([]bool, n)
+	for w := 0; w < workers; w++ {
+		for v := 0; v < n; v++ {
+			sums[v] += partialSums[w][v]
+			censored[v] = censored[v] || partialCensored[w][v]
 		}
 	}
 	out := make([]time.Duration, n)

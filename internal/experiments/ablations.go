@@ -102,6 +102,7 @@ func runPerigeeVariant(e *env, v AblationVariant) ([]float64, error) {
 		Pinned:  e.pinned,
 		Frozen:  e.frozen,
 		Rand:    e.root.Derive("ablation-engine-" + v.Label),
+		Workers: e.opt.Workers,
 	})
 	if err != nil {
 		return nil, err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/perigee-net/perigee/internal/core"
+	"github.com/perigee-net/perigee/internal/parallel"
 	"github.com/perigee-net/perigee/internal/stats"
 	"github.com/perigee-net/perigee/internal/topology"
 )
@@ -25,54 +26,65 @@ func Convergence(opt Options) (*Result, error) {
 	}
 	p90Trials := make([][]float64, opt.Trials)
 	p50Trials := make([][]float64, opt.Trials)
-	var random90, random50 stats.Summary
-	for t := 0; t < opt.Trials; t++ {
-		e, err := newEnv(opt, t)
+	random90Trials := make([]float64, opt.Trials)
+	random50Trials := make([]float64, opt.Trials)
+	outer, innerOpt := splitWorkers(opt, opt.Trials)
+	err := parallel.ForEachIndexed(opt.Trials, outer, func(_, t int) error {
+		e, err := newEnv(innerOpt, t)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		randTbl, err := e.buildRandom(LabelRandom)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		r90, err := e.evalTopology(randTbl)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		random90.Add(stats.Percentile(r90, 0.5))
+		random90Trials[t] = stats.Percentile(r90, 0.5)
 		r50, err := evalTopologyAtFraction(e, randTbl, 0.5)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		random50.Add(stats.Percentile(r50, 0.5))
+		random50Trials[t] = stats.Percentile(r50, 0.5)
 
 		tbl, err := e.buildRandom("convergence")
 		if err != nil {
-			return nil, err
+			return err
 		}
 		engine, err := newExtensionEngine(e, core.Subset, tbl, nil, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		p90 := make([]float64, 0, opt.Rounds)
 		p50 := make([]float64, 0, opt.Rounds)
 		for r := 0; r < opt.Rounds; r++ {
 			if _, err := engine.Step(); err != nil {
-				return nil, err
+				return err
 			}
 			d90, err := engine.Delays(0.9, nil)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			d50, err := engine.Delays(0.5, nil)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			p90 = append(p90, stats.Percentile(delaysToSortedMs(d90), 0.5))
 			p50 = append(p50, stats.Percentile(delaysToSortedMs(d50), 0.5))
 		}
 		p90Trials[t] = p90
 		p50Trials[t] = p50
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var random90, random50 stats.Summary
+	for t := 0; t < opt.Trials; t++ {
+		random90.Add(random90Trials[t])
+		random50.Add(random50Trials[t])
 	}
 	s90, err := aggregate("p90-coverage", p90Trials)
 	if err != nil {

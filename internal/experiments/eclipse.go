@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/perigee-net/perigee/internal/core"
+	"github.com/perigee-net/perigee/internal/parallel"
 )
 
 // eclipseAdversaryFraction is the population share of adversaries in the
@@ -30,14 +31,17 @@ func Eclipse(opt Options) (*Result, error) {
 			100*eclipseAdversaryFraction),
 		Options: opt,
 	}
-	var (
+	// Per-trial results, merged in trial order after the parallel fan-out.
+	type trialStats struct {
 		randomShare, perigeeShare       float64
 		randomEclipsed, perigeeEclipsed int
-	)
-	for t := 0; t < opt.Trials; t++ {
-		e, err := newEnv(opt, t)
+	}
+	perTrial := make([]trialStats, opt.Trials)
+	outer, innerOpt := splitWorkers(opt, opt.Trials)
+	err := parallel.ForEachIndexed(opt.Trials, outer, func(_, t int) error {
+		e, err := newEnv(innerOpt, t)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		adversary := make([]bool, opt.Nodes)
 		perm := e.root.Derive("adversaries").Perm(opt.Nodes)
@@ -48,15 +52,15 @@ func Eclipse(opt Options) (*Result, error) {
 
 		randTbl, err := e.buildRandom("eclipse-random")
 		if err != nil {
-			return nil, err
+			return err
 		}
 		share, eclipsed := captureStats(randTbl.OutNeighbors, opt.Nodes, adversary)
-		randomShare += share / float64(opt.Trials)
-		randomEclipsed += eclipsed
+		perTrial[t].randomShare = share
+		perTrial[t].randomEclipsed = eclipsed
 
 		tbl, err := e.buildRandom("eclipse-perigee")
 		if err != nil {
-			return nil, err
+			return err
 		}
 		params := core.DefaultParams(core.Subset)
 		params.RoundBlocks = e.opt.RoundBlocks
@@ -68,16 +72,31 @@ func Eclipse(opt Options) (*Result, error) {
 			Forward: e.forward,
 			Power:   e.power,
 			Rand:    e.root.Derive("eclipse-engine"),
+			Workers: e.opt.Workers,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := engine.Run(e.opt.Rounds); err != nil {
-			return nil, err
+			return err
 		}
 		share, eclipsed = captureStats(engine.Table().OutNeighbors, opt.Nodes, adversary)
-		perigeeShare += share / float64(opt.Trials)
-		perigeeEclipsed += eclipsed
+		perTrial[t].perigeeShare = share
+		perTrial[t].perigeeEclipsed = eclipsed
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var (
+		randomShare, perigeeShare       float64
+		randomEclipsed, perigeeEclipsed int
+	)
+	for _, ts := range perTrial {
+		randomShare += ts.randomShare / float64(opt.Trials)
+		perigeeShare += ts.perigeeShare / float64(opt.Trials)
+		randomEclipsed += ts.randomEclipsed
+		perigeeEclipsed += ts.perigeeEclipsed
 	}
 	params := core.DefaultParams(core.Subset)
 	res.Notes = append(res.Notes,

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/perigee-net/perigee/internal/core"
+	"github.com/perigee-net/perigee/internal/parallel"
 	"github.com/perigee-net/perigee/internal/stats"
 	"github.com/perigee-net/perigee/internal/topology"
 )
@@ -32,18 +33,21 @@ func Freeride(opt Options) (*Result, error) {
 		Title:   fmt.Sprintf("Extension: %.0f%% free-riding (non-relaying) nodes", 100*FreerideSilentFraction),
 		Options: opt,
 	}
+	// Per-trial results, indexed so the parallel fan-out is scheduling
+	// independent.
 	var (
-		randomTrials   [][]float64
-		perigeeTrials  [][]float64
-		honestRecvMs   []float64
-		silentRecvMs   []float64
-		honestRandomMs []float64
-		silentRandomMs []float64
+		randomTrials   = make([][]float64, opt.Trials)
+		perigeeTrials  = make([][]float64, opt.Trials)
+		honestRecvMs   = make([]float64, opt.Trials)
+		silentRecvMs   = make([]float64, opt.Trials)
+		honestRandomMs = make([]float64, opt.Trials)
+		silentRandomMs = make([]float64, opt.Trials)
 	)
-	for t := 0; t < opt.Trials; t++ {
-		e, err := newEnv(opt, t)
+	outer, innerOpt := splitWorkers(opt, opt.Trials)
+	err := parallel.ForEachIndexed(opt.Trials, outer, func(_, t int) error {
+		e, err := newEnv(innerOpt, t)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		silent := make([]bool, opt.Nodes)
 		perm := e.root.Derive("silent-nodes").Perm(opt.Nodes)
@@ -54,49 +58,49 @@ func Freeride(opt Options) (*Result, error) {
 		// Static random baseline with the same silent population.
 		randTbl, err := e.buildRandom(LabelRandom)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		randEngine, err := newExtensionEngine(e, core.Subset, randTbl, silent, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		randDelays, err := randEngine.Delays(e.opt.Fraction, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		randomTrials = append(randomTrials, delaysToSortedMs(randDelays))
+		randomTrials[t] = delaysToSortedMs(randDelays)
 		randRecv, err := randEngine.ReceiveDelays(receiveSources(e, silent))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		h, s := splitMeans(randRecv, silent)
-		honestRandomMs = append(honestRandomMs, h)
-		silentRandomMs = append(silentRandomMs, s)
+		honestRandomMs[t], silentRandomMs[t] = splitMeans(randRecv, silent)
 
 		// Perigee run over the same network.
 		periTbl, err := e.buildRandom(LabelSubset)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		engine, err := newExtensionEngine(e, core.Subset, periTbl, silent, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := engine.Run(e.opt.Rounds); err != nil {
-			return nil, err
+			return err
 		}
 		periDelays, err := engine.Delays(e.opt.Fraction, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		perigeeTrials = append(perigeeTrials, delaysToSortedMs(periDelays))
+		perigeeTrials[t] = delaysToSortedMs(periDelays)
 		recv, err := engine.ReceiveDelays(receiveSources(e, silent))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		h, s = splitMeans(recv, silent)
-		honestRecvMs = append(honestRecvMs, h)
-		silentRecvMs = append(silentRecvMs, s)
+		honestRecvMs[t], silentRecvMs[t] = splitMeans(recv, silent)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	randomSeries, err := aggregate(LabelRandom, randomTrials)
 	if err != nil {
@@ -167,6 +171,7 @@ func newExtensionEngine(e *env, method core.Method, tbl *topology.Table, silent 
 		Silent:       silent,
 		SendInterval: sendInterval,
 		Rand:         e.root.Derive("extension-engine-" + method.String()),
+		Workers:      e.opt.Workers,
 	})
 }
 

@@ -8,6 +8,7 @@ import (
 	"github.com/perigee-net/perigee/internal/core"
 	"github.com/perigee-net/perigee/internal/hashpower"
 	"github.com/perigee-net/perigee/internal/latency"
+	"github.com/perigee-net/perigee/internal/parallel"
 	"github.com/perigee-net/perigee/internal/rng"
 	"github.com/perigee-net/perigee/internal/stats"
 	"github.com/perigee-net/perigee/internal/topology"
@@ -307,38 +308,52 @@ func Figure5(opt Options) (*Result, error) {
 		}
 		return nil
 	}
-	for t := 0; t < opt.Trials; t++ {
-		e, err := newEnv(opt, t)
+	// Per-trial topologies are built in parallel; histograms are merged
+	// sequentially in (trial, label) order so bin counts never depend on
+	// scheduling.
+	type trialGraphs struct {
+		lat latency.Model
+		adj map[string][][]int
+	}
+	perTrial := make([]trialGraphs, opt.Trials)
+	outer, innerOpt := splitWorkers(opt, opt.Trials)
+	err := parallel.ForEachIndexed(opt.Trials, outer, func(_, t int) error {
+		e, err := newEnv(innerOpt, t)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		adj := make(map[string][][]int, 4)
 		randomTbl, err := e.buildRandom(LabelRandom)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if err := addHist(LabelRandom, randomTbl.Undirected(), e.lat); err != nil {
-			return nil, err
-		}
+		adj[LabelRandom] = randomTbl.Undirected()
 		geoTbl, err := topology.Geographic(e.universe, 8, 4, 20, e.root.Derive("geo-topology"))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if err := addHist(LabelGeographic, geoTbl.Undirected(), e.lat); err != nil {
-			return nil, err
-		}
+		adj[LabelGeographic] = geoTbl.Undirected()
 		kadTbl, err := topology.Kademlia(e.opt.Nodes, 8, 20, e.root.Derive("kad-topology"))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if err := addHist(LabelKademlia, kadTbl.Undirected(), e.lat); err != nil {
-			return nil, err
-		}
+		adj[LabelKademlia] = kadTbl.Undirected()
 		_, engine, err := e.runPerigee(core.Subset)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if err := addHist(LabelSubset, engine.Adjacency(), e.lat); err != nil {
-			return nil, err
+		adj[LabelSubset] = engine.Adjacency()
+		perTrial[t] = trialGraphs{lat: e.lat, adj: adj}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for t := 0; t < opt.Trials; t++ {
+		for _, label := range []string{LabelRandom, LabelGeographic, LabelKademlia, LabelSubset} {
+			if err := addHist(label, perTrial[t].adj[label], perTrial[t].lat); err != nil {
+				return nil, err
+			}
 		}
 	}
 	// Headline statistic: fraction of edge mass in the low-latency half.
@@ -377,32 +392,36 @@ func Figure1(opt Options) (*Result, error) {
 	const pairs = 200
 	randomTrials := make([][]float64, opt.Trials)
 	geomTrials := make([][]float64, opt.Trials)
-	for t := 0; t < opt.Trials; t++ {
+	err := parallel.ForEachIndexed(opt.Trials, opt.Workers, func(_, t int) error {
 		root := rng.New(opt.Seed).DeriveIndexed("figure1", t)
 		cube, err := latency.NewHypercube(opt.Nodes, 2, 100*time.Millisecond, root.Derive("points"))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		weight := func(u, v int) time.Duration { return cube.Delay(u, v) }
 		randomAdj, err := topology.RandomUndirected(opt.Nodes, 3, root.Derive("random"))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		radius := geometricRadius(opt.Nodes, 2)
 		geomAdj, err := topology.Geometric(opt.Nodes, cube.Distance, radius)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rs, err := topology.StretchSample(randomAdj, weight, pairs, root.Derive("pairs-random"))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		gs, err := topology.StretchSample(geomAdj, weight, pairs, root.Derive("pairs-geom"))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		randomTrials[t] = stats.CDF(rs)
 		geomTrials[t] = stats.CDF(gs)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	randomSeries, err := aggregate("random-stretch", randomTrials)
 	if err != nil {
@@ -449,36 +468,47 @@ func theoremExperiment(opt Options, id, title string, geometric bool) (*Result, 
 	res := &Result{ID: id, Title: title, Options: opt}
 	const dim = 2
 	const pairs = 150
-	for _, n := range TheoremSizes {
-		trials := make([][]float64, opt.Trials)
-		for t := 0; t < opt.Trials; t++ {
-			root := rng.New(opt.Seed).DeriveIndexed(fmt.Sprintf("%s-%d", id, n), t)
-			cube, err := latency.NewHypercube(n, dim, 100*time.Millisecond, root.Derive("points"))
-			if err != nil {
-				return nil, err
-			}
-			var adj [][]int
-			if geometric {
-				adj, err = topology.Geometric(n, cube.Distance, geometricRadius(n, dim))
-			} else {
-				// Average degree ~ c log n mirrors p <= c log n / n.
-				deg := int(math.Ceil(math.Log(float64(n)) / 2))
-				if deg < 2 {
-					deg = 2
-				}
-				adj, err = topology.RandomUndirected(n, deg, root.Derive("graph"))
-			}
-			if err != nil {
-				return nil, err
-			}
-			weight := func(u, v int) time.Duration { return cube.Delay(u, v) }
-			ss, err := topology.StretchSample(adj, weight, pairs, root.Derive("pairs"))
-			if err != nil {
-				return nil, err
-			}
-			trials[t] = stats.CDF(ss)
+	// Flatten the (size, trial) sweep into one indexed job list.
+	perSize := make([][][]float64, len(TheoremSizes))
+	for i := range perSize {
+		perSize[i] = make([][]float64, opt.Trials)
+	}
+	jobs := len(TheoremSizes) * opt.Trials
+	err := parallel.ForEachIndexed(jobs, opt.Workers, func(_, j int) error {
+		si, t := j/opt.Trials, j%opt.Trials
+		n := TheoremSizes[si]
+		root := rng.New(opt.Seed).DeriveIndexed(fmt.Sprintf("%s-%d", id, n), t)
+		cube, err := latency.NewHypercube(n, dim, 100*time.Millisecond, root.Derive("points"))
+		if err != nil {
+			return err
 		}
-		s, err := aggregate(fmt.Sprintf("n=%d", n), trials)
+		var adj [][]int
+		if geometric {
+			adj, err = topology.Geometric(n, cube.Distance, geometricRadius(n, dim))
+		} else {
+			// Average degree ~ c log n mirrors p <= c log n / n.
+			deg := int(math.Ceil(math.Log(float64(n)) / 2))
+			if deg < 2 {
+				deg = 2
+			}
+			adj, err = topology.RandomUndirected(n, deg, root.Derive("graph"))
+		}
+		if err != nil {
+			return err
+		}
+		weight := func(u, v int) time.Duration { return cube.Delay(u, v) }
+		ss, err := topology.StretchSample(adj, weight, pairs, root.Derive("pairs"))
+		if err != nil {
+			return err
+		}
+		perSize[si][t] = stats.CDF(ss)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, n := range TheoremSizes {
+		s, err := aggregate(fmt.Sprintf("n=%d", n), perSize[si])
 		if err != nil {
 			return nil, err
 		}

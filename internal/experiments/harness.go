@@ -15,6 +15,7 @@ import (
 	"github.com/perigee-net/perigee/internal/hashpower"
 	"github.com/perigee-net/perigee/internal/latency"
 	"github.com/perigee-net/perigee/internal/netsim"
+	"github.com/perigee-net/perigee/internal/parallel"
 	"github.com/perigee-net/perigee/internal/rng"
 	"github.com/perigee-net/perigee/internal/stats"
 	"github.com/perigee-net/perigee/internal/topology"
@@ -43,6 +44,13 @@ type Options struct {
 	MeanValidation time.Duration
 	// Validation selects how per-node validation delays are drawn.
 	Validation ValidationModel
+	// Workers bounds the goroutines used to run trials and algorithm arms
+	// concurrently, and is forwarded to every protocol engine for in-round
+	// broadcast parallelism. Zero (or negative) means one worker per
+	// available core. Results are bit-for-bit identical for any worker
+	// count: every trial derives its RNG streams statelessly from
+	// (Seed, trial index), so no stream depends on execution order.
+	Workers int
 }
 
 // ValidationModel selects the per-node validation delay distribution.
@@ -158,6 +166,30 @@ func (r *Result) SeriesByLabel(label string) (Series, error) {
 	return Series{}, fmt.Errorf("experiments: no series %q in %s", label, r.ID)
 }
 
+// splitWorkers divides the configured worker budget between an outer
+// fan-out over jobs and the engines running inside each job, so nested
+// pools stay at O(total) goroutines instead of O(total²): outer jobs get
+// min(total, jobs) workers and each job's engines get the remaining
+// total/outer share. Worker counts never affect results, only scheduling.
+func splitWorkers(opt Options, jobs int) (outer int, inner Options) {
+	total := parallel.Workers(opt.Workers)
+	outer = total
+	if outer > jobs {
+		outer = jobs
+	}
+	if outer < 1 {
+		outer = 1
+	}
+	// Ceil division: slight oversubscription beats idling total%outer
+	// cores for the whole run (e.g. 3 trials on 8 cores → 3×3, not 3×2).
+	inner = opt
+	inner.Workers = (total + outer - 1) / outer
+	if inner.Workers < 1 {
+		inner.Workers = 1
+	}
+	return outer, inner
+}
+
 // env bundles one trial's sampled network.
 type env struct {
 	opt      Options
@@ -241,7 +273,9 @@ func delaysToSortedMs(ds []time.Duration) []float64 {
 }
 
 // evalTopology computes λ_v for every node over a static communication
-// graph (plus the env's pinned edges).
+// graph (plus the env's pinned edges). Sources are evaluated on the worker
+// pool — the analytic pass is stateless, so the shared simulator needs no
+// per-worker context.
 func (e *env) evalTopology(tbl *topology.Table) ([]float64, error) {
 	adj := topology.MergeAdjacency(tbl.Undirected(), e.pinned)
 	sim, err := netsim.New(netsim.Config{Adj: adj, Latency: e.lat, Forward: e.forward})
@@ -249,15 +283,16 @@ func (e *env) evalTopology(tbl *topology.Table) ([]float64, error) {
 		return nil, err
 	}
 	delays := make([]time.Duration, e.opt.Nodes)
-	for src := 0; src < e.opt.Nodes; src++ {
+	err = parallel.ForEachIndexed(e.opt.Nodes, e.opt.Workers, func(_, src int) error {
 		arrival, err := sim.ArrivalAnalytic(src)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		delays[src], err = netsim.DelayToFraction(arrival, e.power, e.opt.Fraction)
-		if err != nil {
-			return nil, err
-		}
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return delaysToSortedMs(delays), nil
 }
@@ -266,13 +301,14 @@ func (e *env) evalTopology(tbl *topology.Table) ([]float64, error) {
 // the source to everyone.
 func (e *env) evalIdeal() ([]float64, error) {
 	delays := make([]time.Duration, e.opt.Nodes)
-	for src := 0; src < e.opt.Nodes; src++ {
+	err := parallel.ForEachIndexed(e.opt.Nodes, e.opt.Workers, func(_, src int) error {
 		arrival := netsim.IdealArrival(e.lat, src)
 		var err error
 		delays[src], err = netsim.DelayToFraction(arrival, e.power, e.opt.Fraction)
-		if err != nil {
-			return nil, err
-		}
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return delaysToSortedMs(delays), nil
 }
@@ -308,6 +344,7 @@ func (e *env) runPerigee(method core.Method) ([]float64, *core.Engine, error) {
 		Pinned:  e.pinned,
 		Frozen:  e.frozen,
 		Rand:    e.root.Derive("engine-" + method.String()),
+		Workers: e.opt.Workers,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -343,6 +380,13 @@ type algo struct {
 // one environment, apply the figure-specific setup (power distribution,
 // latency overrides, pinned relay edges, ...), then run every algorithm on
 // that same network — exactly how the paper compares curves.
+//
+// Trials and algorithm arms fan out together over the worker pool as
+// (trial, arm) jobs. Each job rebuilds its trial environment from scratch:
+// newEnv and setup derive every stream statelessly from (Seed, trial), so
+// two jobs of the same trial see identical networks, arms never share
+// mutable state, and the per-(arm, trial) result matrix is independent of
+// scheduling.
 func runFigure(opt Options, id, title string, setup func(*env) error, algos []algo) (*Result, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
@@ -351,23 +395,28 @@ func runFigure(opt Options, id, title string, setup func(*env) error, algos []al
 	for i := range perAlgo {
 		perAlgo[i] = make([][]float64, opt.Trials)
 	}
-	for t := 0; t < opt.Trials; t++ {
-		e, err := newEnv(opt, t)
+	jobs := opt.Trials * len(algos)
+	outer, innerOpt := splitWorkers(opt, jobs)
+	err := parallel.ForEachIndexed(jobs, outer, func(_, j int) error {
+		t, i := j/len(algos), j%len(algos)
+		e, err := newEnv(innerOpt, t)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if setup != nil {
 			if err := setup(e); err != nil {
-				return nil, fmt.Errorf("experiments: %s trial %d setup: %w", id, t, err)
+				return fmt.Errorf("experiments: %s trial %d setup: %w", id, t, err)
 			}
 		}
-		for i, a := range algos {
-			series, err := a.run(e)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s trial %d algo %s: %w", id, t, a.label, err)
-			}
-			perAlgo[i][t] = series
+		series, err := algos[i].run(e)
+		if err != nil {
+			return fmt.Errorf("experiments: %s trial %d algo %s: %w", id, t, algos[i].label, err)
 		}
+		perAlgo[i][t] = series
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	res := &Result{ID: id, Title: title, Options: opt}
 	for i, a := range algos {

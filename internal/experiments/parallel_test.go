@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestExperimentsDeterministicAcrossWorkers is the harness-level
+// determinism acceptance check: a fixed seed produces byte-identical
+// Results (series, notes, histograms) under Workers=1 and Workers=8.
+// The covered IDs exercise all three harness shapes: the shared runFigure
+// fan-out (churn), a fully custom trial loop with receive-delay metrics
+// (freeride), and the trial-indexed stretch loop (figure1).
+func TestExperimentsDeterministicAcrossWorkers(t *testing.T) {
+	opt := tinyOptions()
+	opt.Nodes = 80
+	opt.Rounds = 4
+	opt.RoundBlocks = 20
+	opt.Trials = 2
+	ids := []string{"figure1", "freeride"}
+	if !testing.Short() {
+		ids = append(ids, "churn")
+	}
+	for _, id := range ids {
+		t.Run(id, func(t *testing.T) {
+			o := opt
+			if id == "figure1" {
+				o.Nodes = 300
+			}
+			o.Workers = 1
+			seq, err := Run(id, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o.Workers = 8
+			par, err := Run(id, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(seq.Series, par.Series) {
+				t.Errorf("%s: series diverge between Workers=1 and Workers=8", id)
+			}
+			if !reflect.DeepEqual(seq.Notes, par.Notes) {
+				t.Errorf("%s: notes diverge between Workers=1 and Workers=8:\n%v\n%v", id, seq.Notes, par.Notes)
+			}
+			if !reflect.DeepEqual(seq.Histograms, par.Histograms) {
+				t.Errorf("%s: histograms diverge between Workers=1 and Workers=8", id)
+			}
+		})
+	}
+}

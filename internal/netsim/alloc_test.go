@@ -1,0 +1,36 @@
+//go:build !race
+
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/perigee-net/perigee/internal/rng"
+)
+
+// TestDelayToFractionNoSteadyStateAllocs proves the sorted-index scratch is
+// reused: after the pool warms up, the hot path allocates nothing. (Skipped
+// under -race, where the detector's instrumentation allocates.)
+func TestDelayToFractionNoSteadyStateAllocs(t *testing.T) {
+	const n = 500
+	arrival := make([]time.Duration, n)
+	power := make([]float64, n)
+	r := rng.New(6)
+	for i := range arrival {
+		arrival[i] = time.Duration(r.IntN(300)) * time.Millisecond
+		power[i] = 1.0 / n
+	}
+	// Warm the pool.
+	if _, err := DelayToFraction(arrival, power, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := DelayToFraction(arrival, power, 0.9); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("DelayToFraction allocates %.1f objects per call, want 0", allocs)
+	}
+}

@@ -1,0 +1,183 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/perigee-net/perigee/internal/geo"
+	"github.com/perigee-net/perigee/internal/latency"
+	"github.com/perigee-net/perigee/internal/rng"
+	"github.com/perigee-net/perigee/internal/topology"
+)
+
+// randomSim builds a moderately sized random-topology simulator for
+// concurrency tests.
+func randomSim(t testing.TB, n int, sendInterval []time.Duration) *Simulator {
+	t.Helper()
+	root := rng.New(99)
+	u, err := geo.SampleUniverse(n, root.Derive("universe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := latency.NewGeographic(u, root.Derive("lat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := topology.Random(n, 8, 20, root.Derive("topo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd := make([]time.Duration, n)
+	for i := range fwd {
+		fwd[i] = 50 * time.Millisecond
+	}
+	sim, err := New(Config{Adj: tbl.Undirected(), Latency: model, Forward: fwd, SendInterval: sendInterval})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+// snapshot deep-copies a Result out of the broadcaster's scratch.
+func snapshot(res Result) Result {
+	out := Result{Source: res.Source, Arrival: append([]time.Duration(nil), res.Arrival...)}
+	out.EdgeArrival = make([][]time.Duration, len(res.EdgeArrival))
+	for v, row := range res.EdgeArrival {
+		out.EdgeArrival[v] = append([]time.Duration(nil), row...)
+	}
+	return out
+}
+
+func sameResult(t *testing.T, want, got Result) {
+	t.Helper()
+	if want.Source != got.Source {
+		t.Fatalf("source %d != %d", got.Source, want.Source)
+	}
+	for v := range want.Arrival {
+		if want.Arrival[v] != got.Arrival[v] {
+			t.Fatalf("source %d node %d: arrival %v != %v", want.Source, v, got.Arrival[v], want.Arrival[v])
+		}
+		for i := range want.EdgeArrival[v] {
+			if want.EdgeArrival[v][i] != got.EdgeArrival[v][i] {
+				t.Fatalf("source %d node %d slot %d: edge arrival %v != %v",
+					want.Source, v, i, got.EdgeArrival[v][i], want.EdgeArrival[v][i])
+			}
+		}
+	}
+}
+
+// TestConcurrentBroadcastersMatchSequential is the -race exercise of the
+// shared-Simulator contract: N goroutines, each with its own Broadcaster,
+// produce exactly the results of a sequential pass.
+func TestConcurrentBroadcastersMatchSequential(t *testing.T) {
+	const n, sources = 200, 32
+	for _, name := range []string{"analytic-regime", "serialized-uploads"} {
+		t.Run(name, func(t *testing.T) {
+			var intervals []time.Duration
+			if name == "serialized-uploads" {
+				intervals = make([]time.Duration, n)
+				for i := range intervals {
+					intervals[i] = time.Duration(i%7) * time.Millisecond
+				}
+			}
+			sim := randomSim(t, n, intervals)
+			want := make([]Result, sources)
+			for src := 0; src < sources; src++ {
+				res, err := sim.Broadcast(src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want[src] = snapshot(res)
+			}
+			got := make([]Result, sources)
+			errs := make([]error, sources)
+			var wg sync.WaitGroup
+			for src := 0; src < sources; src++ {
+				wg.Add(1)
+				go func(src int) {
+					defer wg.Done()
+					bc := sim.NewBroadcaster()
+					res, err := bc.Broadcast(src)
+					if err != nil {
+						errs[src] = err
+						return
+					}
+					got[src] = snapshot(res)
+				}(src)
+			}
+			wg.Wait()
+			for src := 0; src < sources; src++ {
+				if errs[src] != nil {
+					t.Fatal(errs[src])
+				}
+				sameResult(t, want[src], got[src])
+			}
+		})
+	}
+}
+
+// TestBroadcasterReuse checks a single Broadcaster stays correct across
+// repeated broadcasts (scratch reset).
+func TestBroadcasterReuse(t *testing.T) {
+	sim := randomSim(t, 60, nil)
+	bc := sim.NewBroadcaster()
+	for _, src := range []int{0, 13, 0, 59, 13} {
+		res, err := bc.Broadcast(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromScratch, err := sim.NewBroadcaster().Broadcast(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, snapshot(fromScratch), snapshot(res))
+	}
+}
+
+// TestConcurrentAnalyticArrival exercises ArrivalAnalytic's documented
+// concurrency safety under -race.
+func TestConcurrentAnalyticArrival(t *testing.T) {
+	sim := randomSim(t, 150, nil)
+	want, err := sim.ArrivalAnalytic(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := sim.ArrivalAnalytic(3)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for v := range want {
+				if got[v] != want[v] {
+					t.Errorf("node %d: %v != %v", v, got[v], want[v])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func BenchmarkDelayToFraction1000(b *testing.B) {
+	const n = 1000
+	arrival := make([]time.Duration, n)
+	power := make([]float64, n)
+	r := rng.New(5)
+	for i := range arrival {
+		arrival[i] = time.Duration(r.IntN(400)) * time.Millisecond
+		power[i] = 1.0 / n
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DelayToFraction(arrival, power, 0.9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -20,6 +20,7 @@ package netsim
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"github.com/perigee-net/perigee/internal/des"
@@ -53,19 +54,35 @@ type Config struct {
 	Silent []bool
 }
 
-// Simulator runs block broadcasts over a fixed Config, reusing internal
-// buffers across broadcasts.
+// Simulator holds the immutable topology of one simulated network: the
+// validated adjacency, its reverse index, and the latency/forward/silent
+// tables. A Simulator carries no per-broadcast state, so a single instance
+// may be shared by any number of goroutines, each running broadcasts
+// through its own Broadcaster (see NewBroadcaster).
 type Simulator struct {
-	cfg   Config
-	n     int
-	sched des.Scheduler
+	cfg Config
+	n   int
 
 	// revIndex[u][j] is the position of u in Adj[v]'s list where
 	// v = Adj[u][j]; it lets a sender record its announcement in the
 	// receiver's row without searching.
 	revIndex [][]int
 
-	// Scratch buffers, reused across Broadcast calls.
+	// base serves the convenience Broadcast method, created on first use
+	// (parallel callers go through NewBroadcaster and never pay for it);
+	// it makes a bare Simulator behave like the pre-Broadcaster API for
+	// single-goroutine callers.
+	base *Broadcaster
+}
+
+// Broadcaster owns the mutable per-broadcast state (event scheduler and
+// arrival scratch) for one goroutine's broadcasts over a shared Simulator.
+// A Broadcaster is not safe for concurrent use; create one per worker.
+type Broadcaster struct {
+	sim   *Simulator
+	sched des.Scheduler
+
+	// Scratch buffers, reused across Broadcast calls; Result aliases them.
 	arrival     []time.Duration
 	edgeArrival [][]time.Duration
 }
@@ -131,17 +148,11 @@ func New(cfg Config) (*Simulator, error) {
 			rev[u][j] = k
 		}
 	}
-	s := &Simulator{
+	return &Simulator{
 		cfg:      cfg,
 		n:        n,
 		revIndex: rev,
-		arrival:  make([]time.Duration, n),
-	}
-	s.edgeArrival = make([][]time.Duration, n)
-	for v := 0; v < n; v++ {
-		s.edgeArrival[v] = make([]time.Duration, len(cfg.Adj[v]))
-	}
-	return s, nil
+	}, nil
 }
 
 // N returns the number of nodes.
@@ -150,9 +161,24 @@ func (s *Simulator) N() int { return s.n }
 // Adj returns the adjacency the simulator runs on.
 func (s *Simulator) Adj() [][]int { return s.cfg.Adj }
 
-// Result is the outcome of one broadcast. Its slices alias the simulator's
-// scratch buffers: they are valid until the next Broadcast call. Callers
-// that need to keep them must copy.
+// NewBroadcaster allocates an independent broadcast context over the shared
+// topology. Broadcasters are independent of one another: any number may run
+// Broadcast concurrently on the same Simulator, one per goroutine.
+func (s *Simulator) NewBroadcaster() *Broadcaster {
+	b := &Broadcaster{
+		sim:     s,
+		arrival: make([]time.Duration, s.n),
+	}
+	b.edgeArrival = make([][]time.Duration, s.n)
+	for v := 0; v < s.n; v++ {
+		b.edgeArrival[v] = make([]time.Duration, len(s.cfg.Adj[v]))
+	}
+	return b
+}
+
+// Result is the outcome of one broadcast. Its slices alias the owning
+// Broadcaster's scratch buffers: they are valid until that Broadcaster's
+// next Broadcast call. Callers that need to keep them must copy.
 type Result struct {
 	// Source is the mining node.
 	Source int
@@ -164,40 +190,53 @@ type Result struct {
 	EdgeArrival [][]time.Duration
 }
 
-// Broadcast simulates flooding a block mined by source at virtual time 0.
+// Broadcast simulates flooding a block mined by source at virtual time 0,
+// using the Simulator's built-in Broadcaster (created lazily here). It is
+// a convenience for single-goroutine callers; concurrent broadcasts must
+// go through separate NewBroadcaster contexts.
 func (s *Simulator) Broadcast(source int) (Result, error) {
-	if source < 0 || source >= s.n {
-		return Result{}, fmt.Errorf("netsim: source %d out of range (n=%d)", source, s.n)
+	if s.base == nil {
+		s.base = s.NewBroadcaster()
 	}
-	for v := 0; v < s.n; v++ {
-		s.arrival[v] = stats.InfDuration
-		row := s.edgeArrival[v]
+	return s.base.Broadcast(source)
+}
+
+// Broadcast simulates flooding a block mined by source at virtual time 0.
+func (b *Broadcaster) Broadcast(source int) (Result, error) {
+	n := b.sim.n
+	if source < 0 || source >= n {
+		return Result{}, fmt.Errorf("netsim: source %d out of range (n=%d)", source, n)
+	}
+	for v := 0; v < n; v++ {
+		b.arrival[v] = stats.InfDuration
+		row := b.edgeArrival[v]
 		for i := range row {
 			row[i] = stats.InfDuration
 		}
 	}
-	s.sched.Reset()
-	s.arrival[source] = 0
-	s.forward(source, 0)
-	s.sched.Run()
-	return Result{Source: source, Arrival: s.arrival, EdgeArrival: s.edgeArrival}, nil
+	b.sched.Reset()
+	b.arrival[source] = 0
+	b.forward(source, 0)
+	b.sched.Run()
+	return Result{Source: source, Arrival: b.arrival, EdgeArrival: b.edgeArrival}, nil
 }
 
 // forward schedules v's announcements to all its neighbors, starting at
 // time at (v has validated the block by then).
-func (s *Simulator) forward(v int, at time.Duration) {
+func (b *Broadcaster) forward(v int, at time.Duration) {
+	cfg := &b.sim.cfg
 	var interval time.Duration
-	if s.cfg.SendInterval != nil {
-		interval = s.cfg.SendInterval[v]
+	if cfg.SendInterval != nil {
+		interval = cfg.SendInterval[v]
 	}
-	for j, w := range s.cfg.Adj[v] {
+	for j, w := range cfg.Adj[v] {
 		depart := at + time.Duration(j)*interval
-		deliverAt := depart + s.cfg.Latency.Delay(v, w)
-		w, slot := w, s.revIndex[v][j]
+		deliverAt := depart + cfg.Latency.Delay(v, w)
+		w, slot := w, b.sim.revIndex[v][j]
 		// Scheduling in the present or future by construction: delays are
 		// validated non-negative, so the error path is unreachable; guard
 		// anyway to surface programming errors loudly in tests.
-		if err := s.sched.At(deliverAt, func() { s.deliver(w, slot) }); err != nil {
+		if err := b.sched.At(deliverAt, func() { b.deliver(w, slot) }); err != nil {
 			panic(fmt.Sprintf("netsim: internal scheduling bug: %v", err))
 		}
 	}
@@ -205,15 +244,16 @@ func (s *Simulator) forward(v int, at time.Duration) {
 
 // deliver records the announcement arriving at node w in the given
 // neighbor slot, and triggers w's own forwarding on first receipt.
-func (s *Simulator) deliver(w, slot int) {
-	now := s.sched.Now()
-	if s.edgeArrival[w][slot] > now {
-		s.edgeArrival[w][slot] = now
+func (b *Broadcaster) deliver(w, slot int) {
+	now := b.sched.Now()
+	cfg := &b.sim.cfg
+	if b.edgeArrival[w][slot] > now {
+		b.edgeArrival[w][slot] = now
 	}
-	if s.arrival[w] == stats.InfDuration {
-		s.arrival[w] = now
-		if s.cfg.Silent == nil || !s.cfg.Silent[w] {
-			s.forward(w, now+s.cfg.Forward[w])
+	if b.arrival[w] == stats.InfDuration {
+		b.arrival[w] = now
+		if cfg.Silent == nil || !cfg.Silent[w] {
+			b.forward(w, now+cfg.Forward[w])
 		}
 	}
 }
@@ -222,6 +262,8 @@ func (s *Simulator) deliver(w, slot int) {
 // Dijkstra, without per-edge bookkeeping. It does not support upload
 // serialization (returns an error if SendInterval is set), because
 // serialized sends are order-dependent and need the event simulation.
+// It allocates its own working state, so it is safe to call concurrently
+// from multiple goroutines on a shared Simulator.
 func (s *Simulator) ArrivalAnalytic(source int) ([]time.Duration, error) {
 	if source < 0 || source >= s.n {
 		return nil, fmt.Errorf("netsim: source %d out of range (n=%d)", source, s.n)
@@ -317,10 +359,25 @@ func dijkstraNodeDelay(adj [][]int, weight topology.WeightFunc, node func(int) t
 	return dist
 }
 
+// arrivalSorter sorts a reusable index slice by arrival time. It implements
+// sort.Interface so sorting needs no per-call closure allocation; instances
+// are pooled because DelayToFraction runs once per broadcast per evaluation
+// pass, from many goroutines at once.
+type arrivalSorter struct {
+	idx     []int
+	arrival []time.Duration
+}
+
+func (s *arrivalSorter) Len() int           { return len(s.idx) }
+func (s *arrivalSorter) Less(a, b int) bool { return s.arrival[s.idx[a]] < s.arrival[s.idx[b]] }
+func (s *arrivalSorter) Swap(a, b int)      { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
+
+var arrivalSorterPool = sync.Pool{New: func() any { return new(arrivalSorter) }}
+
 // DelayToFraction returns the earliest time by which nodes holding at least
 // frac of the total power have the block, given the per-node arrival
 // times. The source (arrival 0) counts. If the reachable mass is below
-// frac, it returns InfDuration.
+// frac, it returns InfDuration. Safe for concurrent use.
 func DelayToFraction(arrival []time.Duration, power []float64, frac float64) (time.Duration, error) {
 	if len(arrival) != len(power) {
 		return 0, fmt.Errorf("netsim: arrival has %d entries, power %d", len(arrival), len(power))
@@ -338,26 +395,35 @@ func DelayToFraction(arrival []time.Duration, power []float64, frac float64) (ti
 	if total <= 0 {
 		return 0, fmt.Errorf("netsim: zero total power")
 	}
-	idx := make([]int, len(arrival))
-	for i := range idx {
-		idx[i] = i
+	srt := arrivalSorterPool.Get().(*arrivalSorter)
+	if cap(srt.idx) < len(arrival) {
+		srt.idx = make([]int, len(arrival))
 	}
-	sort.Slice(idx, func(a, b int) bool { return arrival[idx[a]] < arrival[idx[b]] })
+	srt.idx = srt.idx[:len(arrival)]
+	for i := range srt.idx {
+		srt.idx[i] = i
+	}
+	srt.arrival = arrival
+	sort.Sort(srt)
 	// The epsilon absorbs floating-point shortfall when frac covers the
 	// whole network (e.g. frac=1 with power summing to 1-1e-16).
 	const eps = 1e-9
 	target := frac * total
+	result := stats.InfDuration
 	var acc float64
-	for _, i := range idx {
+	for _, i := range srt.idx {
 		if arrival[i] == stats.InfDuration {
 			break
 		}
 		acc += power[i]
 		if acc+eps >= target {
-			return arrival[i], nil
+			result = arrival[i]
+			break
 		}
 	}
-	return stats.InfDuration, nil
+	srt.arrival = nil // don't retain the caller's slice in the pool
+	arrivalSorterPool.Put(srt)
+	return result, nil
 }
 
 // IdealArrival returns the one-hop arrival times of a fully-connected

@@ -1,0 +1,88 @@
+// Package parallel provides the deterministic fan-out primitive shared by
+// the simulation stack (core.Engine round broadcasts, experiment trials and
+// algorithm arms).
+//
+// The contract that makes worker-pool results reproducible is simple: work
+// items are identified by a dense index, every item writes only into
+// per-index (or per-worker, merged in worker order) storage, and no item
+// draws from a shared random stream. Under that contract the output is
+// bit-for-bit identical for any worker count, so Workers=1 and
+// Workers=GOMAXPROCS produce the same figures.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count option: any value <= 0 means "use all
+// available cores" (GOMAXPROCS); positive values are returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEachIndexed runs fn(worker, index) for every index in [0, n), fanning
+// the indices out over min(Workers(workers), n) worker goroutines. The
+// worker argument is a dense ID in [0, workerCount) that fn can use to
+// address per-worker scratch (e.g. one netsim.Broadcaster per worker);
+// every invocation with the same worker ID runs on the same goroutine.
+//
+// Indices are claimed in ascending order. If an fn call returns an error, no
+// further indices are claimed (in-flight ones still complete) and the error
+// with the smallest index is returned — the same error a sequential loop
+// over [0, n) would have stopped at, regardless of worker count or
+// scheduling. Callers must treat per-index results as invalid on error.
+func ForEachIndexed(n, workers int, fn func(worker, index int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+		errs   = make([]error, n)
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				if failed.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(worker, i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -99,6 +99,10 @@ type Config struct {
 	MeanValidation time.Duration
 	// HashPower selects the power distribution (default PowerUniform).
 	HashPower HashPower
+	// Workers bounds the goroutines used for round broadcasts and delay
+	// evaluation. Zero means one worker per available core; results are
+	// bit-for-bit identical for any worker count.
+	Workers int
 }
 
 // DefaultConfig returns the paper's evaluation parameters for a network of
@@ -175,6 +179,7 @@ func New(cfg Config) (*Network, error) {
 		Forward: forward,
 		Power:   power,
 		Rand:    root.Derive("engine"),
+		Workers: cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
