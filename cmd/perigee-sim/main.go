@@ -1,13 +1,16 @@
-// Command perigee-sim reproduces the paper's figures from the command
+// Command perigee-sim runs registered scenarios — the paper's figures,
+// the §6 extension studies, and the ablation sweeps — from the command
 // line.
 //
 //	perigee-sim -list
-//	perigee-sim -experiment figure3a -quick
-//	perigee-sim -experiment figure3a -nodes 1000 -trials 3 -rounds 30
+//	perigee-sim -scenario figure3a -quick
+//	perigee-sim -scenario figure3a -nodes 1000 -trials 3 -rounds 30
+//	perigee-sim -scenario figure1 -quick -json
 //	perigee-sim -all -quick -out results.md
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,23 +22,24 @@ import (
 
 func main() {
 	var (
-		list       = flag.Bool("list", false, "list available experiments and exit")
-		experiment = flag.String("experiment", "", "experiment ID to run (see -list)")
-		all        = flag.Bool("all", false, "run every experiment")
+		list       = flag.Bool("list", false, "list the scenario registry and exit")
+		scenario   = flag.String("scenario", "", "scenario ID to run (see -list); comma-separate for several")
+		experiment = flag.String("experiment", "", "alias of -scenario (legacy flag name)")
+		all        = flag.Bool("all", false, "run every registered scenario")
 		quick      = flag.Bool("quick", false, "use the scaled-down (300-node) configuration")
 		nodes      = flag.Int("nodes", 0, "override network size")
 		trials     = flag.Int("trials", 0, "override trial count")
 		rounds     = flag.Int("rounds", 0, "override Perigee round count")
 		seed       = flag.Uint64("seed", 0, "override root seed")
 		workers    = flag.Int("workers", 0, "worker goroutines for trials/broadcasts (0 = all cores; results are identical for any value)")
+		asJSON     = flag.Bool("json", false, "emit results as JSON instead of the text report")
 		out        = flag.String("out", "", "also append rendered results to this file")
 	)
 	flag.Parse()
 
 	if *list {
-		for _, id := range experiments.IDs() {
-			brief, _ := experiments.Describe(id)
-			fmt.Printf("  %-26s %s\n", id, brief)
+		for _, s := range experiments.Scenarios() {
+			fmt.Printf("  %-26s %s\n", s.ID, s.Brief)
 		}
 		return
 	}
@@ -58,14 +62,18 @@ func main() {
 	}
 	opt.Workers = *workers
 
+	selected := *scenario
+	if selected == "" {
+		selected = *experiment
+	}
 	var ids []string
 	switch {
 	case *all:
 		ids = experiments.IDs()
-	case *experiment != "":
-		ids = strings.Split(*experiment, ",")
+	case selected != "":
+		ids = strings.Split(selected, ",")
 	default:
-		fmt.Fprintln(os.Stderr, "need -experiment <id>, -all, or -list")
+		fmt.Fprintln(os.Stderr, "need -scenario <id>, -all, or -list")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -86,11 +94,22 @@ func main() {
 		start := time.Now()
 		res, err := experiments.Run(id, opt)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
+			fmt.Fprintf(os.Stderr, "scenario %s: %v\n", id, err)
 			os.Exit(1)
 		}
-		rendered := res.Render()
-		fmt.Printf("%s(completed in %v)\n\n", rendered, time.Since(start).Round(time.Second))
+		var rendered string
+		if *asJSON {
+			buf, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "scenario %s: encoding JSON: %v\n", id, err)
+				os.Exit(1)
+			}
+			rendered = string(buf) + "\n"
+			fmt.Print(rendered)
+		} else {
+			rendered = res.Render()
+			fmt.Printf("%s(completed in %v)\n\n", rendered, time.Since(start).Round(time.Second))
+		}
 		if sink != nil {
 			fmt.Fprintf(sink, "```\n%s```\n\n", rendered)
 		}

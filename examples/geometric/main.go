@@ -3,6 +3,10 @@
 // whose latency is a growing factor above the point-to-point optimum,
 // while a geometric threshold graph stays within a constant factor.
 //
+// The three studies are registered scenarios, run through the shared
+// registry (perigee.RunScenario — the same surface cmd/perigee-sim
+// serves).
+//
 //	go run ./examples/geometric
 package main
 
@@ -14,19 +18,19 @@ import (
 )
 
 func main() {
-	opt := perigee.QuickExperimentOptions()
+	opt := perigee.QuickScenarioOptions()
 	opt.Nodes = 600
 	opt.Trials = 2
 
 	fmt.Println("Figure 1: stretch on the unit square (random vs geometric)")
-	res, err := perigee.RunExperiment("figure1", opt)
+	res, err := perigee.RunScenario("figure1", opt)
 	if err != nil {
 		log.Fatalf("figure1: %v", err)
 	}
 	fmt.Println(res.Render())
 
 	fmt.Println("Theorem 1: random-graph stretch grows with network size")
-	t1, err := perigee.RunExperiment("theorem1", opt)
+	t1, err := perigee.RunScenario("theorem1", opt)
 	if err != nil {
 		log.Fatalf("theorem1: %v", err)
 	}
@@ -35,7 +39,7 @@ func main() {
 	}
 
 	fmt.Println("\nTheorem 2: geometric-graph stretch stays constant")
-	t2, err := perigee.RunExperiment("theorem2", opt)
+	t2, err := perigee.RunScenario("theorem2", opt)
 	if err != nil {
 		log.Fatalf("theorem2: %v", err)
 	}

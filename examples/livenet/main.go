@@ -3,6 +3,10 @@
 // the miner; a hub node runs live Perigee rounds and learns to drop its
 // artificially slow relay.
 //
+// Unlike the other examples, this one exercises the live implementation
+// (internal/p2p) rather than the simulation's options API: scoring runs
+// on real TCP arrival timestamps, with no latency oracle.
+//
 //	go run ./examples/livenet
 package main
 

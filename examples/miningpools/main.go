@@ -3,6 +3,10 @@
 // not close to the average node — Perigee optimizes exactly that, because
 // it scores neighbors on block arrivals and blocks come from miners.
 //
+// The pool structure is one option (WithPower) on an otherwise default
+// network; swap in ExponentialPower, PowerVector, or your own PowerDist
+// for other economies.
+//
 //	go run ./examples/miningpools
 package main
 
@@ -16,12 +20,11 @@ import (
 )
 
 func main() {
-	cfg := perigee.DefaultConfig(300)
-	cfg.Seed = 7
-	cfg.HashPower = perigee.PowerPools
-	cfg.RoundBlocks = 50
-
-	net, err := perigee.New(cfg)
+	net, err := perigee.New(300,
+		perigee.WithSeed(7),
+		perigee.WithRoundBlocks(50),
+		perigee.WithPower(perigee.PoolsPower(0.1, 0.9)),
+	)
 	if err != nil {
 		log.Fatalf("building network: %v", err)
 	}

@@ -1,6 +1,7 @@
-// Quickstart: build a simulated blockchain p2p network, measure block
-// propagation under the default random topology, run the Perigee protocol
-// for a few rounds, and measure again.
+// Quickstart: build a simulated blockchain p2p network with the options
+// API, stream per-round telemetry through an Observer, and watch the
+// Perigee protocol improve block propagation over the starting random
+// topology.
 //
 //	go run ./examples/quickstart
 package main
@@ -15,11 +16,28 @@ import (
 )
 
 func main() {
-	cfg := perigee.DefaultConfig(300)
-	cfg.Seed = 42
-	cfg.RoundBlocks = 50
+	const rounds = 12
 
-	net, err := perigee.New(cfg)
+	// An Observer receives every round's summary and exact connection
+	// churn as it happens — no polling. λ snapshots are available on
+	// demand through the network handle.
+	progress := perigee.ObserverFunc(func(net *perigee.Network, s perigee.RoundStats) {
+		if s.Summary.Round%4 != 0 {
+			return
+		}
+		ds, err := net.BroadcastDelays(0.9)
+		if err != nil {
+			log.Fatalf("measuring: %v", err)
+		}
+		fmt.Printf("  round %2d: median %v (swapped %d connections)\n",
+			s.Summary.Round, median(ds), s.Summary.ConnectionsDropped)
+	})
+
+	net, err := perigee.New(300,
+		perigee.WithSeed(42),
+		perigee.WithRoundBlocks(50),
+		perigee.WithObserver(progress),
+	)
 	if err != nil {
 		log.Fatalf("building network: %v", err)
 	}
@@ -31,21 +49,9 @@ func main() {
 	fmt.Printf("starting topology (random, out-degree 8):\n")
 	fmt.Printf("  median delay to 90%% of hash power: %v\n", median(before))
 
-	const rounds = 12
-	fmt.Printf("\nrunning %d Perigee-Subset rounds (%d blocks each)...\n", rounds, cfg.RoundBlocks)
-	for i := 0; i < rounds; i++ {
-		sum, err := net.Step()
-		if err != nil {
-			log.Fatalf("round %d: %v", i+1, err)
-		}
-		if sum.Round%4 == 0 {
-			ds, err := net.BroadcastDelays(0.9)
-			if err != nil {
-				log.Fatalf("measuring: %v", err)
-			}
-			fmt.Printf("  round %2d: median %v (swapped %d connections)\n",
-				sum.Round, median(ds), sum.ConnectionsDropped)
-		}
+	fmt.Printf("\nrunning %d Perigee-Subset rounds (50 blocks each)...\n", rounds)
+	if err := net.Run(rounds); err != nil {
+		log.Fatalf("running: %v", err)
 	}
 
 	after, err := net.BroadcastDelays(0.9)

@@ -3,8 +3,9 @@
 // embedded in the p2p network. Perigee nodes discover and exploit it
 // without being told it exists.
 //
-// This example drives the experiment harness directly because the scenario
-// needs pinned relay edges and latency overrides.
+// The study is a registered scenario: this example lists the registry and
+// runs "figure4c" through perigee.RunScenario, the same surface
+// cmd/perigee-sim serves.
 //
 //	go run ./examples/relaynetwork
 package main
@@ -17,12 +18,17 @@ import (
 )
 
 func main() {
-	opt := perigee.QuickExperimentOptions()
+	fmt.Println("registered scenarios:")
+	for _, s := range perigee.Scenarios() {
+		fmt.Printf("  %-26s %s\n", s.ID, s.Brief)
+	}
+
+	opt := perigee.QuickScenarioOptions()
 	opt.Nodes = 300
 	opt.Rounds = 10
 
-	fmt.Println("embedding a low-latency relay tree in a 300-node network...")
-	res, err := perigee.RunExperiment("figure4c", opt)
+	fmt.Println("\nembedding a low-latency relay tree in a 300-node network...")
+	res, err := perigee.RunScenario("figure4c", opt)
 	if err != nil {
 		log.Fatalf("running figure4c: %v", err)
 	}

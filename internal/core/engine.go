@@ -112,6 +112,13 @@ type Config struct {
 	SendInterval []time.Duration
 	// Rand drives source sampling and exploration.
 	Rand *rng.RNG
+	// Observer, if non-nil, receives a RoundEvent after every completed
+	// round (streaming telemetry; see Observer). Optional.
+	Observer Observer
+	// Dynamics, if non-nil, runs after every completed round (and after the
+	// observer) to mutate the network — churn, adversary injection, and
+	// similar per-round environment changes. Optional.
+	Dynamics Dynamics
 	// Workers bounds the goroutines used for round broadcasts, scoring
 	// decisions, and delay evaluation. Zero (or negative) means one worker
 	// per available core. Results are bit-for-bit identical for any worker
@@ -137,6 +144,8 @@ type Engine struct {
 	rand         *rng.RNG
 	sampler      *hashpower.Sampler
 	workers      int
+	observer     Observer
+	dynamics     Dynamics
 
 	round int
 	// ucbHist[v][u] accumulates finite offsets for v's outgoing neighbor u
@@ -158,6 +167,51 @@ type RoundReport struct {
 	// MaxDialAttempts (should be zero in sane configurations).
 	Unfilled int
 }
+
+// RoundEvent is the streaming telemetry handed to an Observer after each
+// completed round: the round report plus the exact connection churn. Edge
+// lists are in deterministic order (drops by ascending node, additions in
+// the round's exploration order), so they are identical for any Workers
+// count. RoundReport itself stays free of slices so it remains comparable
+// with ==.
+type RoundEvent struct {
+	// Report is the completed round's summary.
+	Report RoundReport
+	// Dropped lists the directed edges (v, u) disconnected by scoring.
+	Dropped [][2]int
+	// Added lists the directed edges (v, u) established by exploration.
+	Added [][2]int
+}
+
+// Observer receives streaming per-round telemetry. ObserveRound is invoked
+// synchronously at the end of Step, after the neighbor update and before
+// any Dynamics run, so the engine state it can inspect (via a captured
+// engine reference) is the round's converged topology. Long runs can emit
+// metrics without polling; implementations must not mutate the engine.
+type Observer interface {
+	ObserveRound(ev RoundEvent)
+}
+
+// ObserverFunc adapts a plain function to the Observer interface.
+type ObserverFunc func(ev RoundEvent)
+
+// ObserveRound implements Observer.
+func (f ObserverFunc) ObserveRound(ev RoundEvent) { f(ev) }
+
+// Dynamics mutates the network between rounds: node churn (Engine.Churn),
+// adversary injection, topology edits — the per-round environment changes
+// that the eclipse and churn experiments previously hard-coded. AfterRound
+// runs sequentially after the observer, so any randomness it draws (from
+// its own derived stream) is independent of the Workers count.
+type Dynamics interface {
+	AfterRound(e *Engine, round int) error
+}
+
+// DynamicsFunc adapts a plain function to the Dynamics interface.
+type DynamicsFunc func(e *Engine, round int) error
+
+// AfterRound implements Dynamics.
+func (f DynamicsFunc) AfterRound(e *Engine, round int) error { return f(e, round) }
 
 // NewEngine validates the configuration and builds an engine.
 func NewEngine(cfg Config) (*Engine, error) {
@@ -220,6 +274,8 @@ func NewEngine(cfg Config) (*Engine, error) {
 		rand:         cfg.Rand,
 		sampler:      sampler,
 		workers:      cfg.Workers,
+		observer:     cfg.Observer,
+		dynamics:     cfg.Dynamics,
 	}
 	if cfg.Method == UCB {
 		e.ucbHist = make([]map[int][]time.Duration, n)
@@ -355,13 +411,26 @@ func (e *Engine) Step() (RoundReport, error) {
 		return RoundReport{}, err
 	}
 
-	report, err := e.update(obs)
+	var ev *RoundEvent
+	if e.observer != nil {
+		ev = &RoundEvent{}
+	}
+	report, err := e.update(obs, ev)
 	if err != nil {
 		return RoundReport{}, err
 	}
 	e.round++
 	report.Round = e.round
 	report.Blocks = e.params.RoundBlocks
+	if ev != nil {
+		ev.Report = report
+		e.observer.ObserveRound(*ev)
+	}
+	if e.dynamics != nil {
+		if err := e.dynamics.AfterRound(e, e.round); err != nil {
+			return RoundReport{}, fmt.Errorf("core: dynamics after round %d: %w", e.round, err)
+		}
+	}
 	return report, nil
 }
 
@@ -370,8 +439,9 @@ func (e *Engine) Step() (RoundReport, error) {
 // happen, then all exploration connections are established in random node
 // order. The decide phase is pure per node (it reads only obs[v] and
 // e.ucbHist[v]), so it fans out over the worker pool; the table mutations
-// and RNG-driven exploration stay sequential.
-func (e *Engine) update(obs []Observations) (RoundReport, error) {
+// and RNG-driven exploration stay sequential. When ev is non-nil the exact
+// dropped/added edges are recorded into it for the observer.
+func (e *Engine) update(obs []Observations, ev *RoundEvent) (RoundReport, error) {
 	n := e.table.N()
 	var report RoundReport
 	drop := make([][]int, n) // node IDs to disconnect, per node
@@ -398,15 +468,22 @@ func (e *Engine) update(obs []Observations) (RoundReport, error) {
 				return report, fmt.Errorf("core: dropping %d->%d: %w", v, u, err)
 			}
 			report.Dropped++
+			if ev != nil {
+				ev.Dropped = append(ev.Dropped, [2]int{v, u})
+			}
 		}
 	}
 	// Exploration: refill to OutDegree in random node order so no node is
 	// systematically advantaged in the race for incoming slots.
+	var record *[][2]int
+	if ev != nil {
+		record = &ev.Added
+	}
 	for _, v := range e.rand.Perm(n) {
 		if e.frozen != nil && e.frozen[v] {
 			continue
 		}
-		added, unfilled := e.explore(v)
+		added, unfilled := e.explore(v, record)
 		report.Added += added
 		report.Unfilled += unfilled
 	}
@@ -485,8 +562,9 @@ func neighborsAtRanks(o Observations, ranks []int) []int {
 }
 
 // explore connects v to random fresh peers until it has OutDegree outgoing
-// connections, honoring incoming caps.
-func (e *Engine) explore(v int) (added, unfilled int) {
+// connections, honoring incoming caps. When record is non-nil, every
+// established edge (v, cand) is appended to it.
+func (e *Engine) explore(v int, record *[][2]int) (added, unfilled int) {
 	n := e.table.N()
 	attempts := 0
 	for e.table.OutDegree(v) < e.params.OutDegree {
@@ -503,6 +581,9 @@ func (e *Engine) explore(v int) (added, unfilled int) {
 			continue // incoming full — try another candidate
 		}
 		added++
+		if record != nil {
+			*record = append(*record, [2]int{v, cand})
+		}
 	}
 	return added, 0
 }
@@ -718,7 +799,7 @@ func (e *Engine) Churn(nodes []int) error {
 		if e.frozen != nil && e.frozen[v] {
 			continue
 		}
-		e.explore(v)
+		e.explore(v, nil)
 	}
 	return nil
 }

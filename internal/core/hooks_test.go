@@ -1,0 +1,111 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestObserverReceivesRoundEvents checks that the engine streams one event
+// per round with edge lists matching the report counts, from both Step and
+// Run.
+func TestObserverReceivesRoundEvents(t *testing.T) {
+	var events []RoundEvent
+	tn := newTestNetwork(t, 60, 3)
+	cfg := tn.config(Subset, Params{})
+	params := DefaultParams(Subset)
+	params.RoundBlocks = 20
+	cfg.Params = params
+	cfg.Observer = ObserverFunc(func(ev RoundEvent) { events = append(events, ev) })
+	engine, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("observer saw %d events, want 3", len(events))
+	}
+	for i, ev := range events {
+		if ev.Report.Round != i+1 {
+			t.Fatalf("event %d has round %d", i, ev.Report.Round)
+		}
+		if len(ev.Dropped) != ev.Report.Dropped {
+			t.Fatalf("round %d: %d dropped edges vs report count %d", ev.Report.Round, len(ev.Dropped), ev.Report.Dropped)
+		}
+		if len(ev.Added) != ev.Report.Added {
+			t.Fatalf("round %d: %d added edges vs report count %d", ev.Report.Round, len(ev.Added), ev.Report.Added)
+		}
+	}
+}
+
+// TestObserverEventsDeterministicAcrossWorkers checks that the edge-level
+// telemetry (not just the counts) is identical at any worker count.
+func TestObserverEventsDeterministicAcrossWorkers(t *testing.T) {
+	capture := func(workers int) []RoundEvent {
+		var events []RoundEvent
+		tn := newTestNetwork(t, 80, 17)
+		cfg := tn.config(Subset, Params{})
+		params := DefaultParams(Subset)
+		params.RoundBlocks = 20
+		cfg.Params = params
+		cfg.Workers = workers
+		cfg.Observer = ObserverFunc(func(ev RoundEvent) { events = append(events, ev) })
+		engine, err := NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := engine.Run(3); err != nil {
+			t.Fatal(err)
+		}
+		return events
+	}
+	if !reflect.DeepEqual(capture(1), capture(8)) {
+		t.Fatal("observer events diverge across worker counts")
+	}
+}
+
+// TestDynamicsHook checks that dynamics run after every round, can mutate
+// the network (churn), and abort the run on error.
+func TestDynamicsHook(t *testing.T) {
+	var rounds []int
+	tn := newTestNetwork(t, 60, 5)
+	cfg := tn.config(Subset, Params{})
+	params := DefaultParams(Subset)
+	params.RoundBlocks = 20
+	cfg.Params = params
+	churnRand := tn.root.Derive("dynamics")
+	cfg.Dynamics = DynamicsFunc(func(e *Engine, round int) error {
+		rounds = append(rounds, round)
+		return e.Churn(churnRand.Perm(e.N())[:2])
+	})
+	engine, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rounds, []int{1, 2, 3}) {
+		t.Fatalf("dynamics ran at rounds %v, want [1 2 3]", rounds)
+	}
+	if err := engine.Table().Validate(); err != nil {
+		t.Fatalf("table invariants violated after churn dynamics: %v", err)
+	}
+
+	boom := errors.New("boom")
+	tn2 := newTestNetwork(t, 60, 6)
+	cfg2 := tn2.config(Subset, Params{})
+	cfg2.Dynamics = DynamicsFunc(func(*Engine, int) error { return boom })
+	engine2, err := NewEngine(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine2.Step(); !errors.Is(err, boom) {
+		t.Fatalf("dynamics error not propagated: %v", err)
+	}
+}

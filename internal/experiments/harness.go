@@ -1,7 +1,9 @@
 // Package experiments reproduces every figure of the paper's evaluation
-// (§5): one runner per figure, shared trial machinery, and text rendering
-// of the series the paper plots. DESIGN.md carries the experiment index
-// mapping figure IDs to these runners.
+// (§5) plus the §6 extension studies and ablation sweeps, all exposed as
+// registered Scenarios: shared trial machinery, a thread-safe registry
+// (Register/Scenarios/Run) that the perigee facade and cmd/perigee-sim
+// dispatch through, and text/JSON rendering of the series the paper
+// plots.
 package experiments
 
 import (

@@ -1,75 +1,156 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
+	"sync"
 )
 
-// registry maps experiment IDs to their runners.
-var registry = buildRegistry()
+// jsonFloat encodes non-finite values (censored observations) as null so
+// results marshal cleanly to JSON.
+type jsonFloat float64
 
-type registryEntry struct {
-	run   func(Options) (*Result, error)
-	brief string
+// MarshalJSON implements json.Marshaler.
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
 }
 
-func buildRegistry() map[string]registryEntry {
-	reg := map[string]registryEntry{
-		"figure1":  {Figure1, "path stretch on the unit square: random vs geometric"},
-		"figure3a": {Figure3a, "delay to 90% hash power, uniform power, all algorithms"},
-		"figure3b": {Figure3b, "delay to 90% hash power, exponential power"},
-		"figure4a": {Figure4a, "validation-delay sweep 0.1x-10x"},
-		"figure4b": {Figure4b, "mining pools: 10% of nodes hold 90% power"},
-		"figure4c": {Figure4c, "fast relay tree embedded in the network"},
-		"figure5":  {Figure5, "edge-latency histograms of converged graphs"},
-		"theorem1": {Theorem1, "random-graph stretch grows with n"},
-		"theorem2": {Theorem2, "geometric-graph stretch is constant in n"},
-
-		// Extensions beyond the paper's published evaluation (§6 topics).
-		"freeride":    {Freeride, "incentives: free-riding nodes get punished"},
-		"churn":       {Churn, "membership churn: 5% of nodes replaced per round"},
-		"bandwidth":   {Bandwidth, "upload bandwidth heterogeneity (serialized sends)"},
-		"eclipse":     {Eclipse, "neighborhood capture by fast adversaries vs exploration"},
-		"convergence": {Convergence, "per-round 90%/50% coverage delay trajectories (§5.2)"},
+func jsonFloats(xs []float64) []jsonFloat {
+	out := make([]jsonFloat, len(xs))
+	for i, x := range xs {
+		out[i] = jsonFloat(x)
 	}
+	return out
+}
+
+// MarshalJSON emits the series with censored (infinite) values as null,
+// since JSON has no representation for Inf.
+func (s Series) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Label string      `json:"label"`
+		Mean  []jsonFloat `json:"mean"`
+		Std   []jsonFloat `json:"std"`
+	}{Label: s.Label, Mean: jsonFloats(s.Mean), Std: jsonFloats(s.Std)})
+}
+
+// Scenario is one registered, runnable experiment: the paper's figures and
+// theorems, the §6 extension studies, the ablation sweeps, and any
+// user-registered scenario all share this shape. The registry is the single
+// dispatch surface used by the perigee facade, cmd/perigee-sim, and the
+// examples.
+type Scenario struct {
+	// ID identifies the scenario ("figure3a", "churn", ...).
+	ID string
+	// Brief is a one-line description shown by listings.
+	Brief string
+	// Run executes the scenario at the given scale.
+	Run func(Options) (*Result, error)
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = builtinScenarios()
+)
+
+func builtinScenarios() map[string]Scenario {
+	reg := make(map[string]Scenario)
+	add := func(id, brief string, run func(Options) (*Result, error)) {
+		reg[id] = Scenario{ID: id, Brief: brief, Run: run}
+	}
+	add("figure1", "path stretch on the unit square: random vs geometric", Figure1)
+	add("figure3a", "delay to 90% hash power, uniform power, all algorithms", Figure3a)
+	add("figure3b", "delay to 90% hash power, exponential power", Figure3b)
+	add("figure4a", "validation-delay sweep 0.1x-10x", Figure4a)
+	add("figure4b", "mining pools: 10% of nodes hold 90% power", Figure4b)
+	add("figure4c", "fast relay tree embedded in the network", Figure4c)
+	add("figure5", "edge-latency histograms of converged graphs", Figure5)
+	add("theorem1", "random-graph stretch grows with n", Theorem1)
+	add("theorem2", "geometric-graph stretch is constant in n", Theorem2)
+
+	// Extensions beyond the paper's published evaluation (§6 topics).
+	add("freeride", "incentives: free-riding nodes get punished", Freeride)
+	add("churn", "membership churn: 5% of nodes replaced per round", Churn)
+	add("bandwidth", "upload bandwidth heterogeneity (serialized sends)", Bandwidth)
+	add("eclipse", "neighborhood capture by fast adversaries vs exploration", Eclipse)
+	add("convergence", "per-round 90%/50% coverage delay trajectories (§5.2)", Convergence)
+
 	for _, ab := range Ablations() {
 		ab := ab
-		reg[ab.ID] = registryEntry{
-			run:   func(opt Options) (*Result, error) { return RunAblation(opt, ab) },
-			brief: ab.Title,
-		}
+		add(ab.ID, ab.Title, func(opt Options) (*Result, error) { return RunAblation(opt, ab) })
 	}
 	return reg
 }
 
-// IDs lists the available experiment identifiers, sorted.
-func IDs() []string {
-	out := make([]string, 0, len(registry))
-	for id := range registry {
-		out = append(out, id)
+// Register adds a scenario to the registry. It fails on an empty ID, a nil
+// runner, or an ID collision (the built-in scenarios cannot be replaced).
+func Register(s Scenario) error {
+	if s.ID == "" {
+		return fmt.Errorf("experiments: scenario ID must be non-empty")
 	}
-	sort.Strings(out)
+	if s.Run == nil {
+		return fmt.Errorf("experiments: scenario %q has nil runner", s.ID)
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, exists := registry[s.ID]; exists {
+		return fmt.Errorf("experiments: scenario %q already registered", s.ID)
+	}
+	registry[s.ID] = s
+	return nil
+}
+
+// Scenarios returns every registered scenario, sorted by ID.
+func Scenarios() []Scenario {
+	registryMu.RLock()
+	out := make([]Scenario, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	registryMu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
-// Describe returns a one-line description of an experiment ID.
+func lookup(id string) (Scenario, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	s, ok := registry[id]
+	return s, ok
+}
+
+// IDs lists the available scenario identifiers, sorted.
+func IDs() []string {
+	scs := Scenarios()
+	out := make([]string, len(scs))
+	for i, s := range scs {
+		out[i] = s.ID
+	}
+	return out
+}
+
+// Describe returns a one-line description of a scenario ID.
 func Describe(id string) (string, error) {
-	entry, ok := registry[id]
+	s, ok := lookup(id)
 	if !ok {
 		return "", fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
 	}
-	return entry.brief, nil
+	return s.Brief, nil
 }
 
-// Run dispatches an experiment by ID.
+// Run dispatches a scenario by ID.
 func Run(id string, opt Options) (*Result, error) {
-	entry, ok := registry[id]
+	s, ok := lookup(id)
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
 	}
-	return entry.run(opt)
+	return s.Run(opt)
 }
 
 // RenderRanks are the fractional node ranks at which tables are printed,

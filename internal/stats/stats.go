@@ -9,6 +9,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -278,6 +279,18 @@ func (h *Histogram) Fractions() []float64 {
 func (h *Histogram) BinCenter(i int) float64 {
 	width := (h.Hi - h.Lo) / float64(len(h.counts))
 	return h.Lo + width*(float64(i)+0.5)
+}
+
+// MarshalJSON emits the histogram as {"lo", "hi", "counts", "total"} so
+// results embedding histograms serialize without losing the bin counts
+// (which are unexported).
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Lo     float64 `json:"lo"`
+		Hi     float64 `json:"hi"`
+		Counts []int   `json:"counts"`
+		Total  int     `json:"total"`
+	}{Lo: h.Lo, Hi: h.Hi, Counts: h.counts, Total: h.total})
 }
 
 // Render draws an ASCII bar chart of the histogram, width characters wide

@@ -1,0 +1,126 @@
+package perigee
+
+import (
+	"time"
+
+	"github.com/perigee-net/perigee/internal/core"
+)
+
+// RoundStats is the streaming per-round telemetry handed to Observers: the
+// round summary plus the exact connection churn. Edge lists are in
+// deterministic order (drops by ascending node, additions in the round's
+// exploration order), identical for any Workers count.
+type RoundStats struct {
+	// Summary is the completed round's summary.
+	Summary RoundSummary
+	// DroppedEdges lists the directed connections (v, u) disconnected by
+	// scoring this round.
+	DroppedEdges [][2]int
+	// AddedEdges lists the directed connections (v, u) established by
+	// exploration this round.
+	AddedEdges [][2]int
+}
+
+// Observer receives streaming telemetry after every protocol round,
+// whether driven by Step or Run, so long experiments can emit metrics
+// without polling. ObserveRound runs synchronously at the end of the
+// round, after the neighbor update and before any Dynamics: the network it
+// receives is read-only from the observer's perspective, but its query
+// methods (BroadcastDelays for per-node λ snapshots, Adjacency,
+// OutNeighbors) are all available on demand. Attach observers with
+// WithObserver; multiple observers run in registration order.
+type Observer interface {
+	ObserveRound(net *Network, stats RoundStats)
+}
+
+// ObserverFunc adapts a plain function to the Observer interface.
+type ObserverFunc func(net *Network, stats RoundStats)
+
+// ObserveRound implements Observer.
+func (f ObserverFunc) ObserveRound(net *Network, stats RoundStats) { f(net, stats) }
+
+// Dynamics mutates the network environment between rounds — the hook
+// behind churn, node join/leave, and adversary scenarios that previously
+// required editing internal packages. AfterRound runs once per completed
+// round, after all Observers, with a Control handle for the permitted
+// mutations. It runs sequentially on its own derived random stream, so
+// dynamic scenarios stay bit-for-bit reproducible at any Workers count.
+// Returning an error aborts the run.
+type Dynamics interface {
+	AfterRound(ctl *Control, round int) error
+}
+
+// DynamicsFunc adapts a plain function to the Dynamics interface.
+type DynamicsFunc func(ctl *Control, round int) error
+
+// AfterRound implements Dynamics.
+func (f DynamicsFunc) AfterRound(ctl *Control, round int) error { return f(ctl, round) }
+
+// Control is the mutation surface handed to Dynamics: deterministic
+// randomness, network inspection, and the membership operations.
+type Control struct {
+	net *Network
+}
+
+// N returns the network size.
+func (c *Control) N() int { return c.net.engine.N() }
+
+// Rand returns the dynamics' dedicated random stream. It is derived from
+// the network seed, so dynamic scenarios reproduce exactly across runs and
+// worker counts.
+func (c *Control) Rand() *Rand { return c.net.dynRand }
+
+// Churn resets the given nodes as if they left and were replaced by fresh
+// peers at the same index: all their connections are torn down, scoring
+// history is forgotten, and each fresh node immediately dials random
+// peers. Affected neighbors refill lost slots during their next round.
+func (c *Control) Churn(nodes ...int) error { return c.net.engine.Churn(nodes) }
+
+// Adjacency returns the current undirected communication graph.
+func (c *Control) Adjacency() [][]int { return c.net.engine.Adjacency() }
+
+// OutNeighbors returns node v's current outgoing neighbor set.
+func (c *Control) OutNeighbors(v int) []int { return c.net.engine.Table().OutNeighbors(v) }
+
+// BroadcastDelays measures the current per-node λ snapshot (see
+// Network.BroadcastDelays), letting adaptive dynamics react to measured
+// performance.
+func (c *Control) BroadcastDelays(frac float64) ([]time.Duration, error) {
+	return c.net.BroadcastDelays(frac)
+}
+
+// observerBridge adapts the engine's core-level round events to the public
+// Observer interface.
+type observerBridge struct {
+	net *Network
+}
+
+func (b *observerBridge) ObserveRound(ev core.RoundEvent) {
+	summary := RoundSummary{
+		Round:              ev.Report.Round,
+		Blocks:             ev.Report.Blocks,
+		ConnectionsDropped: ev.Report.Dropped,
+		ConnectionsAdded:   ev.Report.Added,
+	}
+	for _, o := range b.net.observers {
+		// Each observer gets its own edge-list copies, so one observer
+		// mutating (e.g. sorting) its stats cannot corrupt what the next
+		// one sees.
+		o.ObserveRound(b.net, RoundStats{
+			Summary:      summary,
+			DroppedEdges: append([][2]int(nil), ev.Dropped...),
+			AddedEdges:   append([][2]int(nil), ev.Added...),
+		})
+	}
+}
+
+// dynamicsBridge adapts the engine's core-level dynamics hook to the
+// public Dynamics interface.
+type dynamicsBridge struct {
+	net *Network
+}
+
+func (b *dynamicsBridge) AfterRound(_ *core.Engine, round int) error {
+	// The engine wraps dynamics errors with round context; no second wrap.
+	return b.net.dynamics.AfterRound(&Control{net: b.net}, round)
+}

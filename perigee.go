@@ -1,22 +1,50 @@
 // Package perigee is a Go implementation of Perigee, the decentralized
 // peer-to-peer topology learning protocol for blockchains (Mao et al.,
-// PODC 2020), together with the full simulation stack used to evaluate it:
-// geographic latency models, degree-constrained topologies, baseline
-// connection policies, a block-propagation simulator, and a live TCP node.
+// PODC 2020), together with the full simulation stack used to evaluate it.
 //
-// The quickest way in is Network: build one with New, run protocol rounds
-// with Step or Run, and measure block propagation with BroadcastDelays.
+// # Composable networks
 //
-//	cfg := perigee.DefaultConfig(300)
-//	net, err := perigee.New(cfg)
+// A simulated network is assembled with New from composable options. Each
+// axis of the environment is a pluggable model — LatencyModel (link
+// delays), PowerDist (mining power), ValidationDist (block validation
+// time), TopologySeeder (the starting graph), and Dynamics (per-round
+// churn and adversarial mutation) — so new scenarios are new combinations
+// rather than new library code:
+//
+//	net, err := perigee.New(300,
+//	    perigee.WithSeed(42),
+//	    perigee.WithPower(perigee.PoolsPower(0.1, 0.9)),
+//	    perigee.WithValidation(perigee.ExponentialValidation(50*time.Millisecond)),
+//	)
 //	...
 //	before, _ := net.BroadcastDelays(0.9)
 //	net.Run(20)
-//	after, _ := net.BroadcastDelays(0.9)
+//	after, _ := net.BroadcastDelays(0.9) // λ_v improves as Perigee converges
 //
-// The experiment harness reproducing the paper's figures is exposed via
-// RunExperiment; the live TCP implementation lives in internal/p2p and is
-// driven by the cmd/perigee-node and cmd/perigee-cluster binaries.
+// Streaming Observers (WithObserver) receive per-round telemetry — round
+// summaries, exact connection churn, and per-node λ snapshots on demand —
+// so long runs emit metrics without polling.
+//
+// Every unset option takes the paper's evaluation default, and equal seeds
+// reproduce runs bit-for-bit at any Workers count.
+//
+// # Scenarios
+//
+// The reproductions of the paper's figures, the §6 extension studies, and
+// the ablation sweeps are registered scenarios: Scenarios lists them,
+// RunScenario executes one, and RegisterScenario adds your own to the same
+// registry (which cmd/perigee-sim serves from the command line).
+//
+// # Legacy configuration
+//
+// The Config path remains as a thin shim over the options API under a new
+// name: what was New(Config) is now NewFromConfig(Config), an otherwise
+// mechanical rename that builds a bit-for-bit identical network. Config
+// carries a zero-value ambiguity the options API does not have (see
+// ExploreNone); new code should prefer New with options.
+//
+// The live TCP implementation lives in internal/p2p and is driven by the
+// cmd/perigee-node and cmd/perigee-cluster binaries.
 package perigee
 
 import (
@@ -24,12 +52,6 @@ import (
 	"time"
 
 	"github.com/perigee-net/perigee/internal/core"
-	"github.com/perigee-net/perigee/internal/experiments"
-	"github.com/perigee-net/perigee/internal/geo"
-	"github.com/perigee-net/perigee/internal/hashpower"
-	"github.com/perigee-net/perigee/internal/latency"
-	"github.com/perigee-net/perigee/internal/rng"
-	"github.com/perigee-net/perigee/internal/topology"
 )
 
 // Scoring selects the neighbor-scoring rule (§4 of the paper).
@@ -60,7 +82,8 @@ func (s Scoring) method() core.Method {
 	}
 }
 
-// HashPower selects the mining-power distribution across nodes.
+// HashPower selects among the paper's mining-power distributions in the
+// legacy Config. The options API takes any PowerDist instead.
 type HashPower int
 
 // Supported hash-power distributions.
@@ -74,25 +97,37 @@ const (
 	PowerPools
 )
 
-// Config assembles a simulated Perigee network.
+// ExploreNone requests exactly zero exploration links through the legacy
+// Config, whose zero value means "use the default of 2". The options API
+// has no such ambiguity: WithExplore(0) is explicit.
+const ExploreNone = -1
+
+// Config assembles a simulated Perigee network through the legacy path
+// (NewFromConfig). It remains supported as a thin shim over the options
+// API; New with options is the unambiguous surface — in particular,
+// Config cannot distinguish an unset Explore from an explicit zero (use
+// ExploreNone), while WithExplore(0) simply means zero.
 type Config struct {
 	// Nodes is the network size.
 	Nodes int
 	// Seed roots all randomness; equal seeds reproduce runs exactly.
 	Seed uint64
-	// Scoring picks the Perigee variant. Default ScoringSubset.
+	// Scoring picks the Perigee variant. The zero value is ScoringVanilla;
+	// DefaultConfig selects ScoringSubset, the paper's preferred rule.
 	Scoring Scoring
 	// OutDegree is the number of outgoing connections (default 8).
 	OutDegree int
 	// MaxIncoming caps incoming connections (default 20).
 	MaxIncoming int
 	// Explore is the number of random exploration links per round
-	// (default 2; ignored by ScoringUCB).
+	// (default 2; ignored by ScoringUCB). Zero means the default; pass
+	// ExploreNone for an explicit zero.
 	Explore int
 	// RoundBlocks is the number of blocks per round (default 100, or 1
-	// for ScoringUCB).
+	// for ScoringUCB). Zero means the default.
 	RoundBlocks int
-	// Percentile is the scoring quantile (default 0.9).
+	// Percentile is the scoring quantile in (0, 1] (default 0.9). Zero
+	// means the default.
 	Percentile float64
 	// MeanValidation is the per-node block validation delay (default
 	// 50ms, applied uniformly as in the paper's evaluation).
@@ -122,72 +157,45 @@ func DefaultConfig(nodes int) Config {
 	}
 }
 
-// Network is a simulated p2p network running the Perigee protocol.
-type Network struct {
-	cfg    Config
-	engine *core.Engine
-}
-
-// New builds the network: it samples a geographic universe and latency
-// model, seeds a random topology, and prepares the protocol engine.
-func New(cfg Config) (*Network, error) {
-	applyDefaults(&cfg)
-	if cfg.Nodes < 10 {
-		return nil, fmt.Errorf("perigee: need at least 10 nodes, got %d", cfg.Nodes)
-	}
-	root := rng.New(cfg.Seed)
-	universe, err := geo.SampleUniverse(cfg.Nodes, root.Derive("universe"))
-	if err != nil {
+// NewFromConfig builds a network from a legacy Config. It is a thin shim:
+// the Config is translated into the equivalent options and handed to New,
+// so networks built either way are bit-for-bit identical.
+func NewFromConfig(cfg Config) (*Network, error) {
+	if err := applyDefaults(&cfg); err != nil {
 		return nil, err
 	}
-	lat, err := latency.NewGeographic(universe, root.Derive("latency"))
-	if err != nil {
-		return nil, err
+	opts := []Option{
+		WithSeed(cfg.Seed),
+		WithScoring(cfg.Scoring),
+		WithOutDegree(cfg.OutDegree),
+		WithMaxIncoming(cfg.MaxIncoming),
+		WithPercentile(cfg.Percentile),
+		WithValidation(FixedValidation(cfg.MeanValidation)),
+		WithWorkers(cfg.Workers),
 	}
-	table, err := topology.Random(cfg.Nodes, cfg.OutDegree, cfg.MaxIncoming, root.Derive("topology"))
-	if err != nil {
-		return nil, err
+	if cfg.Scoring != ScoringUCB {
+		// UCB ignores Explore/RoundBlocks, as the paper's §4.2.2 variant
+		// spans one block per round and evicts via confidence intervals.
+		opts = append(opts, WithExplore(cfg.Explore), WithRoundBlocks(cfg.RoundBlocks))
 	}
-	var power []float64
 	switch cfg.HashPower {
 	case PowerExponential:
-		power, err = hashpower.Exponential(cfg.Nodes, root.Derive("power"))
+		opts = append(opts, WithPower(ExponentialPower()))
 	case PowerPools:
-		power, _, err = hashpower.Pools(cfg.Nodes, 0.1, 0.9, root.Derive("power"))
+		opts = append(opts, WithPower(PoolsPower(0.1, 0.9)))
+	case PowerUniform:
+		// UniformPower is the default.
 	default:
-		power, err = hashpower.Uniform(cfg.Nodes)
+		return nil, fmt.Errorf("perigee: unknown hash-power distribution %d", int(cfg.HashPower))
 	}
-	if err != nil {
-		return nil, err
-	}
-	forward := make([]time.Duration, cfg.Nodes)
-	for i := range forward {
-		forward[i] = cfg.MeanValidation
-	}
-	params := core.DefaultParams(cfg.Scoring.method())
-	params.OutDegree = cfg.OutDegree
-	if cfg.Scoring != ScoringUCB {
-		params.Explore = cfg.Explore
-		params.RoundBlocks = cfg.RoundBlocks
-	}
-	params.Percentile = cfg.Percentile
-	engine, err := core.NewEngine(core.Config{
-		Method:  cfg.Scoring.method(),
-		Params:  params,
-		Table:   table,
-		Latency: lat,
-		Forward: forward,
-		Power:   power,
-		Rand:    root.Derive("engine"),
-		Workers: cfg.Workers,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &Network{cfg: cfg, engine: engine}, nil
+	return New(cfg.Nodes, opts...)
 }
 
-func applyDefaults(cfg *Config) {
+// applyDefaults resolves the legacy Config's zero values to the paper's
+// defaults and validates the explicit values. ExploreNone maps to an
+// explicit zero; other negative values are rejected rather than silently
+// overwritten.
+func applyDefaults(cfg *Config) error {
 	base := DefaultConfig(cfg.Nodes)
 	if cfg.OutDegree == 0 {
 		cfg.OutDegree = base.OutDegree
@@ -195,18 +203,39 @@ func applyDefaults(cfg *Config) {
 	if cfg.MaxIncoming == 0 {
 		cfg.MaxIncoming = base.MaxIncoming
 	}
-	if cfg.Explore == 0 {
+	switch {
+	case cfg.Explore == ExploreNone:
+		cfg.Explore = 0
+	case cfg.Explore == 0:
 		cfg.Explore = base.Explore
+	case cfg.Explore < 0:
+		return fmt.Errorf("perigee: explore count %d must be non-negative (use ExploreNone for zero)", cfg.Explore)
 	}
 	if cfg.RoundBlocks == 0 {
 		cfg.RoundBlocks = base.RoundBlocks
+	} else if cfg.RoundBlocks < 0 {
+		return fmt.Errorf("perigee: round blocks %d must be positive", cfg.RoundBlocks)
 	}
 	if cfg.Percentile == 0 {
 		cfg.Percentile = base.Percentile
+	} else if cfg.Percentile < 0 || cfg.Percentile > 1 {
+		return fmt.Errorf("perigee: percentile %v outside (0, 1]", cfg.Percentile)
 	}
 	if cfg.MeanValidation == 0 {
 		cfg.MeanValidation = base.MeanValidation
+	} else if cfg.MeanValidation < 0 {
+		return fmt.Errorf("perigee: negative validation delay %v", cfg.MeanValidation)
 	}
+	return nil
+}
+
+// Network is a simulated p2p network running the Perigee protocol.
+type Network struct {
+	scoring   Scoring
+	engine    *core.Engine
+	observers []Observer
+	dynamics  Dynamics
+	dynRand   *Rand
 }
 
 // RoundSummary reports one protocol round.
@@ -221,7 +250,8 @@ type RoundSummary struct {
 	ConnectionsAdded int
 }
 
-// Step runs one Perigee round (broadcasts, scoring, neighbor update).
+// Step runs one Perigee round (broadcasts, scoring, neighbor update),
+// notifying observers and applying dynamics.
 func (n *Network) Step() (RoundSummary, error) {
 	rep, err := n.engine.Step()
 	if err != nil {
@@ -235,7 +265,8 @@ func (n *Network) Step() (RoundSummary, error) {
 	}, nil
 }
 
-// Run executes the given number of rounds.
+// Run executes the given number of rounds; observers and dynamics fire
+// after every round.
 func (n *Network) Run(rounds int) error {
 	_, err := n.engine.Run(rounds)
 	return err
@@ -244,10 +275,16 @@ func (n *Network) Run(rounds int) error {
 // Rounds returns how many rounds have completed.
 func (n *Network) Rounds() int { return n.engine.Round() }
 
+// Scoring returns the scoring variant the network runs.
+func (n *Network) Scoring() Scoring { return n.scoring }
+
 // BroadcastDelays returns, for every node v, the paper's metric λ_v: the
 // time for a block mined by v to reach nodes holding at least frac of the
-// network's hash power on the current topology.
+// network's hash power on the current topology. frac must be in (0, 1].
 func (n *Network) BroadcastDelays(frac float64) ([]time.Duration, error) {
+	if frac <= 0 || frac > 1 {
+		return nil, fmt.Errorf("perigee: hash-power fraction %v outside (0, 1]", frac)
+	}
 	return n.engine.Delays(frac, nil)
 }
 
@@ -257,27 +294,3 @@ func (n *Network) Adjacency() [][]int { return n.engine.Adjacency() }
 
 // OutNeighbors returns node v's current outgoing neighbor set.
 func (n *Network) OutNeighbors(v int) []int { return n.engine.Table().OutNeighbors(v) }
-
-// ExperimentOptions configures a paper-figure reproduction; it re-exports
-// the experiment harness options.
-type ExperimentOptions = experiments.Options
-
-// ExperimentResult is a reproduced figure; see Render for a text report.
-type ExperimentResult = experiments.Result
-
-// DefaultExperimentOptions mirrors the paper's evaluation scale
-// (1000 nodes, 3 trials).
-func DefaultExperimentOptions() ExperimentOptions { return experiments.DefaultOptions() }
-
-// QuickExperimentOptions is a scaled-down configuration (300 nodes, 1
-// trial) where the paper's qualitative results still hold.
-func QuickExperimentOptions() ExperimentOptions { return experiments.ShortOptions() }
-
-// Experiments lists the reproducible figure IDs.
-func Experiments() []string { return experiments.IDs() }
-
-// RunExperiment reproduces one of the paper's figures by ID (see
-// Experiments for the list).
-func RunExperiment(id string, opt ExperimentOptions) (*ExperimentResult, error) {
-	return experiments.Run(id, opt)
-}
