@@ -1,0 +1,27 @@
+// Package cliopts holds flag-parsing helpers shared by the live-node
+// binaries.
+package cliopts
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/perigee-net/perigee"
+	"github.com/perigee-net/perigee/node"
+)
+
+// ScoringOption maps a -scoring flag value onto the public Selector API.
+func ScoringOption(name string, explore int) (node.Option, error) {
+	switch strings.ToLower(name) {
+	case "subset":
+		return node.WithScoring(perigee.ScoringSubset), nil
+	case "vanilla":
+		return node.WithScoring(perigee.ScoringVanilla), nil
+	case "ucb":
+		return node.WithScoring(perigee.ScoringUCB), nil
+	case "random":
+		return node.WithSelector(perigee.RandomSelector(explore)), nil
+	default:
+		return nil, fmt.Errorf("unknown scoring %q (want subset, vanilla, ucb, or random)", name)
+	}
+}

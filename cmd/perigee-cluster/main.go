@@ -1,84 +1,91 @@
 // Command perigee-cluster runs a whole Perigee network of live TCP nodes
-// on one machine: per-link latencies from the geographic model are
-// injected into every node's sends, a miner schedule drives block
-// production, and all nodes run live Perigee rounds. It reports block
-// propagation times before and after the topology adapts.
+// on one machine, entirely through the public perigee/node API: per-link
+// latencies from the paper's geographic model are injected into every
+// node's sends, a miner schedule drives block production, and all nodes
+// run live Perigee rounds. It reports block propagation times before and
+// after the topology adapts.
 //
-//	perigee-cluster -nodes 20 -rounds 3 -blocks 15
+//	perigee-cluster -nodes 20 -rounds 3 -blocks 15 -scoring vanilla
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand/v2"
 	"os"
 	"sort"
 	"time"
 
-	"github.com/perigee-net/perigee/internal/chain"
-	"github.com/perigee-net/perigee/internal/geo"
-	"github.com/perigee-net/perigee/internal/latency"
-	"github.com/perigee-net/perigee/internal/p2p"
-	"github.com/perigee-net/perigee/internal/rng"
+	"github.com/perigee-net/perigee"
+	"github.com/perigee-net/perigee/cmd/internal/cliopts"
+	"github.com/perigee-net/perigee/node"
 )
 
 func main() {
 	var (
-		nodeCount = flag.Int("nodes", 16, "cluster size")
-		outDegree = flag.Int("out-degree", 4, "outbound connections per node")
-		rounds    = flag.Int("rounds", 3, "live Perigee rounds")
-		blocks    = flag.Int("blocks", 12, "blocks mined per round")
-		seed      = flag.Uint64("seed", 11, "randomness seed")
-		verbose   = flag.Bool("v", false, "per-node logging")
+		nodeCount  = flag.Int("nodes", 16, "cluster size")
+		outDegree  = flag.Int("out-degree", 4, "outbound connections per node")
+		explore    = flag.Int("explore", 1, "exploration slots per round")
+		scoring    = flag.String("scoring", "subset", "selection policy: subset, vanilla, ucb, or random")
+		percentile = flag.Float64("percentile", 0.9, "scoring quantile in (0, 1]")
+		maxInbound = flag.Int("max-inbound", 20, "inbound connection cap per node")
+		rounds     = flag.Int("rounds", 3, "live Perigee rounds")
+		blocks     = flag.Int("blocks", 12, "blocks mined per round")
+		seed       = flag.Uint64("seed", 11, "randomness seed")
+		verbose    = flag.Bool("v", false, "per-node logging")
 	)
 	flag.Parse()
 	if *nodeCount < 4 || *outDegree >= *nodeCount {
 		fmt.Fprintln(os.Stderr, "need at least 4 nodes and out-degree below the cluster size")
 		os.Exit(2)
 	}
-
-	root := rng.New(*seed)
-	universe, err := geo.SampleUniverse(*nodeCount, root.Derive("universe"))
+	scoringOpt, err := cliopts.ScoringOption(*scoring, *explore)
 	if err != nil {
 		log.Fatal(err)
 	}
-	// Scale latencies down 5x so wall-clock runs stay snappy; relative
-	// structure (regions, slow access nodes) is preserved.
-	model, err := latency.NewGeographic(universe, root.Derive("latency"))
+
+	// The same geographic model the simulator evaluates, injected into
+	// real TCP sends. Latencies are scaled down 5x so wall-clock runs stay
+	// snappy; relative structure (regions, slow access nodes) is
+	// preserved.
+	model, err := perigee.GeographicLatency(*nodeCount, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
 	const timeScale = 5
 
-	genesis := chain.NewGenesis("perigee-cluster")
 	logger := log.New(os.Stderr, "", log.Ltime|log.Lmicroseconds)
 
 	// Build nodes; node IDs are 1..n so the latency injector can map a
 	// remote ID back to its universe index.
-	nodes := make([]*p2p.Node, *nodeCount)
+	nodes := make([]*node.Node, *nodeCount)
 	idToIndex := make(map[uint64]int, *nodeCount)
 	for i := range nodes {
 		i := i
-		cfg := p2p.Config{
-			NodeID:     uint64(i + 1),
-			Seed:       *seed + uint64(i),
-			ListenAddr: "127.0.0.1:0",
-			OutDegree:  *outDegree,
-			Explore:    1,
-			Genesis:    genesis,
-			PeerDelay: func(remote uint64) time.Duration {
+		opts := []node.Option{
+			node.WithNodeID(uint64(i + 1)),
+			node.WithSeed(*seed + uint64(i)),
+			node.WithListen("127.0.0.1:0"),
+			node.WithNetwork("perigee-cluster"),
+			node.WithOutDegree(*outDegree),
+			node.WithExplore(*explore),
+			node.WithPercentile(*percentile),
+			node.WithMaxInbound(*maxInbound),
+			scoringOpt,
+			node.WithLatencyInjection(func(remote uint64) time.Duration {
 				j, ok := idToIndex[remote]
 				if !ok {
 					return 0
 				}
 				// One-way delay, halved again because both ends inject.
 				return model.Delay(i, j) / (2 * timeScale)
-			},
+			}),
 		}
 		if *verbose {
-			cfg.Logf = logger.Printf
+			opts = append(opts, node.WithLogf(logger.Printf))
 		}
-		n, err := p2p.NewNode(cfg)
+		n, err := node.New(opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -95,12 +102,12 @@ func main() {
 	for _, n := range nodes {
 		for _, m := range nodes {
 			if n != m {
-				n.Book().Add(m.Addr())
+				n.AddAddresses(m.Addr())
 			}
 		}
 	}
 	// Random initial topology.
-	topoRand := root.Derive("initial-topology")
+	topoRand := rand.New(rand.NewPCG(*seed, 0x7065726967656531)) // "perigee1"
 	for i, n := range nodes {
 		for _, j := range topoRand.Perm(*nodeCount) {
 			if n.OutboundCount() >= *outDegree {
@@ -114,26 +121,25 @@ func main() {
 			}
 		}
 	}
-	fmt.Printf("cluster up: %d live nodes, out-degree %d, latencies injected from the geographic model\n",
-		*nodeCount, *outDegree)
+	fmt.Printf("cluster up: %d live nodes, out-degree %d, %s scoring, latencies injected from the geographic model\n",
+		*nodeCount, *outDegree, *scoring)
 
-	minerRand := root.Derive("miners")
+	minerRand := rand.New(rand.NewPCG(*seed, 0x7065726967656532)) // "perigee2"
 	runRound := func(round int) time.Duration {
 		var spreads []time.Duration
 		for b := 0; b < *blocks; b++ {
 			miner := nodes[minerRand.IntN(len(nodes))]
-			blk, err := miner.MineBlock([][]byte{fmt.Appendf(nil, "r%d-b%d", round, b)})
+			id, err := miner.MineBlock([][]byte{fmt.Appendf(nil, "r%d-b%d", round, b)})
 			if err != nil {
 				log.Fatal(err)
 			}
-			h := blk.Header.Hash()
 			start := time.Now()
 			// Wait for 90% of nodes to hold the block.
 			need := (*nodeCount*9 + 9) / 10
 			for {
 				have := 0
 				for _, n := range nodes {
-					if n.Store().Has(h) {
+					if n.HasBlock(id) {
 						have++
 					}
 				}
@@ -141,7 +147,7 @@ func main() {
 					break
 				}
 				if time.Since(start) > 30*time.Second {
-					log.Fatalf("block %s stalled: %d/%d nodes", h, have, need)
+					log.Fatalf("block %s stalled: %d/%d nodes", id, have, need)
 				}
 				time.Sleep(2 * time.Millisecond)
 			}
@@ -157,7 +163,7 @@ func main() {
 
 	for r := 1; r <= *rounds; r++ {
 		for _, n := range nodes {
-			if _, err := n.PerigeeRound(); err != nil {
+			if _, err := n.Round(); err != nil {
 				log.Fatal(err)
 			}
 		}

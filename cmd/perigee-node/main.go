@@ -1,9 +1,10 @@
-// Command perigee-node runs one live Perigee node: it listens for peers,
-// relays blocks, optionally mines on a Poisson schedule, and periodically
-// re-selects its outbound neighbors from measured block arrival times.
+// Command perigee-node runs one live Perigee node on the public
+// perigee/node API: it listens for peers, relays blocks, optionally mines
+// on a Poisson schedule, and re-selects its outbound neighbors
+// automatically every -round-blocks observed blocks.
 //
 //	perigee-node -listen 127.0.0.1:9735 -network mainnet
-//	perigee-node -listen 127.0.0.1:9736 -connect 127.0.0.1:9735 -mine 30s
+//	perigee-node -listen 127.0.0.1:9736 -connect 127.0.0.1:9735 -mine 30s -scoring vanilla
 package main
 
 import (
@@ -16,9 +17,9 @@ import (
 	"syscall"
 	"time"
 
-	"github.com/perigee-net/perigee/internal/chain"
-	"github.com/perigee-net/perigee/internal/p2p"
-	"github.com/perigee-net/perigee/internal/rng"
+	"github.com/perigee-net/perigee"
+	"github.com/perigee-net/perigee/cmd/internal/cliopts"
+	"github.com/perigee-net/perigee/node"
 )
 
 func main() {
@@ -27,52 +28,67 @@ func main() {
 		connect     = flag.String("connect", "", "comma-separated seed addresses to dial")
 		network     = flag.String("network", "perigee-devnet", "network tag anchoring the genesis block")
 		mine        = flag.Duration("mine", 0, "mean mining interval (0 = do not mine)")
-		roundBlocks = flag.Int("round-blocks", 20, "blocks observed per Perigee round")
+		roundBlocks = flag.Int("round-blocks", 20, "blocks observed per automatic Perigee round (0 = never adapt)")
 		outDegree   = flag.Int("out-degree", 8, "outbound connection target")
 		explore     = flag.Int("explore", 2, "exploration slots per round")
+		scoring     = flag.String("scoring", "subset", "selection policy: subset, vanilla, ucb, or random")
+		percentile  = flag.Float64("percentile", 0.9, "scoring quantile in (0, 1]")
+		maxInbound  = flag.Int("max-inbound", 20, "inbound connection cap")
 		seed        = flag.Uint64("seed", uint64(time.Now().UnixNano()), "randomness seed")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "", log.Ltime|log.Lmicroseconds)
-	node, err := p2p.NewNode(p2p.Config{
-		Seed:       *seed,
-		ListenAddr: *listen,
-		OutDegree:  *outDegree,
-		Explore:    *explore,
-		Genesis:    chain.NewGenesis(*network),
-		Logf:       logger.Printf,
-	})
+	opts := []node.Option{
+		node.WithSeed(*seed),
+		node.WithNetwork(*network),
+		node.WithOutDegree(*outDegree),
+		node.WithExplore(*explore),
+		node.WithPercentile(*percentile),
+		node.WithMaxInbound(*maxInbound),
+		node.WithLogf(logger.Printf),
+		node.WithObserver(node.ObserverFunc(func(n *node.Node, s perigee.RoundStats) {
+			logger.Printf("perigee round %d: scored %d blocks, dropped %d peers, added %d",
+				s.Summary.Round, s.Summary.Blocks, s.Summary.ConnectionsDropped, s.Summary.ConnectionsAdded)
+		})),
+	}
+	if *listen != "" {
+		opts = append(opts, node.WithListen(*listen))
+	}
+	if *roundBlocks > 0 {
+		opts = append(opts, node.WithRoundBlocks(*roundBlocks))
+	}
+	if *mine > 0 {
+		opts = append(opts, node.WithMiner(*mine))
+	}
+	scoringOpt, err := cliopts.ScoringOption(*scoring, *explore)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	opts = append(opts, scoringOpt)
+
+	n, err := node.New(opts...)
 	if err != nil {
 		logger.Fatalf("building node: %v", err)
 	}
-	if err := node.Start(); err != nil {
+	if err := n.Start(); err != nil {
 		logger.Fatalf("starting node: %v", err)
 	}
-	defer node.Stop()
-	fmt.Printf("node %016x listening on %s (network %q)\n", node.ID(), node.Addr(), *network)
+	defer n.Stop()
+	fmt.Printf("node %016x listening on %s (network %q, scoring %s)\n", n.ID(), n.Addr(), *network, *scoring)
 
 	for _, addr := range strings.Split(*connect, ",") {
 		addr = strings.TrimSpace(addr)
 		if addr == "" {
 			continue
 		}
-		if err := node.Connect(addr); err != nil {
+		if err := n.Connect(addr); err != nil {
 			logger.Printf("dialing seed %s: %v", addr, err)
 		}
 	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-
-	miningRand := rng.New(*seed).Derive("mining")
-	var mineTimer *time.Timer
-	var mineC <-chan time.Time
-	if *mine > 0 {
-		mineTimer = time.NewTimer(chain.NextMiningInterval(miningRand, *mine))
-		mineC = mineTimer.C
-		defer mineTimer.Stop()
-	}
 	status := time.NewTicker(10 * time.Second)
 	defer status.Stop()
 
@@ -81,26 +97,9 @@ func main() {
 		case <-stop:
 			fmt.Println("\nshutting down")
 			return
-		case <-mineC:
-			blk, err := node.MineBlock([][]byte{fmt.Appendf(nil, "coinbase-%016x-%d", node.ID(), time.Now().UnixNano())})
-			if err != nil {
-				logger.Printf("mining: %v", err)
-			} else {
-				logger.Printf("mined block %s at height %d", blk.Header.Hash(), blk.Header.Height)
-			}
-			mineTimer.Reset(chain.NextMiningInterval(miningRand, *mine))
 		case <-status.C:
-			if node.ObservationWindow() >= *roundBlocks {
-				rep, err := node.PerigeeRound()
-				if err != nil {
-					logger.Printf("perigee round: %v", err)
-					continue
-				}
-				logger.Printf("perigee round: scored %d blocks, dropped %d peers, dialed %d",
-					rep.BlocksScored, len(rep.Dropped), len(rep.Dialed))
-			}
 			logger.Printf("height=%d peers=%d window=%d addrs=%d",
-				node.Store().Height(), len(node.Peers()), node.ObservationWindow(), node.Book().Len())
+				n.Height(), len(n.Peers()), n.ObservationWindow(), n.KnownAddresses())
 		}
 	}
 }

@@ -1,11 +1,12 @@
-// Live network demo: real TCP nodes on localhost running the Bitcoin-style
-// INV/GETDATA/BLOCK protocol with injected per-link latencies. One node is
+// Live network demo: real TCP nodes on localhost running the
+// Bitcoin-style INV/GETDATA/BLOCK protocol with injected per-link
+// latencies, built entirely on the public perigee/node API. One node is
 // the miner; a hub node runs live Perigee rounds and learns to drop its
 // artificially slow relay.
 //
-// Unlike the other examples, this one exercises the live implementation
-// (internal/p2p) rather than the simulation's options API: scoring runs
-// on real TCP arrival timestamps, with no latency oracle.
+// Unlike the simulation examples, scoring here runs on real TCP arrival
+// timestamps, with no latency oracle — the same Subset policy the
+// simulator defaults to, driving a live node.
 //
 //	go run ./examples/livenet
 package main
@@ -15,23 +16,18 @@ import (
 	"log"
 	"time"
 
-	"github.com/perigee-net/perigee/internal/chain"
-	"github.com/perigee-net/perigee/internal/p2p"
+	"github.com/perigee-net/perigee"
+	"github.com/perigee-net/perigee/node"
 )
 
 func main() {
-	genesis := chain.NewGenesis("livenet-example")
-
-	newNode := func(seed uint64, mutate func(*p2p.Config)) *p2p.Node {
-		cfg := p2p.Config{
-			Seed:       seed,
-			ListenAddr: "127.0.0.1:0",
-			Genesis:    genesis,
-		}
-		if mutate != nil {
-			mutate(&cfg)
-		}
-		n, err := p2p.NewNode(cfg)
+	newNode := func(seed uint64, opts ...node.Option) *node.Node {
+		opts = append([]node.Option{
+			node.WithListen("127.0.0.1:0"),
+			node.WithNetwork("livenet-example"),
+			node.WithSeed(seed),
+		}, opts...)
+		n, err := node.New(opts...)
 		if err != nil {
 			log.Fatalf("node %d: %v", seed, err)
 		}
@@ -41,25 +37,36 @@ func main() {
 		return n
 	}
 
-	miner := newNode(1, nil)
-	fastA := newNode(2, nil)
-	fastB := newNode(3, nil)
-	slow := newNode(4, func(c *p2p.Config) {
-		// This relay adds 120ms before every message it sends.
-		c.PeerDelay = func(uint64) time.Duration { return 120 * time.Millisecond }
-	})
-	hub := newNode(5, func(c *p2p.Config) {
-		c.OutDegree = 3
-		c.Explore = 1
-	})
+	miner := newNode(1)
+	fastA := newNode(2)
+	fastB := newNode(3)
+	// This relay adds 120ms before every message it sends.
+	slow := newNode(4, node.WithLatencyInjection(func(uint64) time.Duration {
+		return 120 * time.Millisecond
+	}))
+
+	names := map[int]string{}
+	hub := newNode(5,
+		node.WithOutDegree(3),
+		node.WithExplore(1),
+		node.WithObserver(node.ObserverFunc(func(n *node.Node, s perigee.RoundStats) {
+			for _, edge := range s.DroppedEdges {
+				fmt.Printf("  dropped %s (%016x)\n", names[edge[1]], uint64(edge[1]))
+			}
+			fmt.Printf("  dialed %d fresh peers from the address book\n", s.Summary.ConnectionsAdded)
+		})),
+	)
+	all := []*node.Node{miner, fastA, fastB, slow, hub}
 	defer func() {
-		for _, n := range []*p2p.Node{miner, fastA, fastB, slow, hub} {
+		for _, n := range all {
 			n.Stop()
 		}
 	}()
 
-	relays := []*p2p.Node{fastA, fastB, slow}
-	names := map[uint64]string{fastA.ID(): "fastA", fastB.ID(): "fastB", slow.ID(): "slow"}
+	relays := []*node.Node{fastA, fastB, slow}
+	names[int(fastA.ID())] = "fastA"
+	names[int(fastB.ID())] = "fastB"
+	names[int(slow.ID())] = "slow"
 	for _, r := range relays {
 		if err := miner.Connect(r.Addr()); err != nil {
 			log.Fatalf("miner connect: %v", err)
@@ -81,24 +88,20 @@ func main() {
 	time.Sleep(250 * time.Millisecond) // let the slow announcements land
 
 	fmt.Printf("hub observed %d blocks; running a live Perigee round...\n", hub.ObservationWindow())
-	rep, err := hub.PerigeeRound()
+	stats, err := hub.Round()
 	if err != nil {
 		log.Fatalf("perigee round: %v", err)
 	}
-	for _, id := range rep.Dropped {
-		fmt.Printf("  dropped %s (%016x)\n", names[id], id)
-	}
-	fmt.Printf("  dialed %d fresh peers from the address book\n", len(rep.Dialed))
-	if len(rep.Dropped) == 1 && names[rep.Dropped[0]] == "slow" {
+	if len(stats.DroppedEdges) == 1 && names[stats.DroppedEdges[0][1]] == "slow" {
 		fmt.Println("\nthe hub evicted exactly the slow relay — scoring on real")
 		fmt.Println("TCP arrival timestamps, no latency oracle involved.")
 	}
 }
 
-func waitForHeight(n *p2p.Node, h uint64) {
+func waitForHeight(n *node.Node, h uint64) {
 	deadline := time.Now().Add(3 * time.Second)
 	for time.Now().Before(deadline) {
-		if n.Store().Height() >= h {
+		if n.Height() >= h {
 			return
 		}
 		time.Sleep(5 * time.Millisecond)

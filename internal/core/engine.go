@@ -83,10 +83,15 @@ func (p Params) validate() error {
 
 // Config assembles an Engine.
 type Config struct {
-	// Method selects the scoring rule.
+	// Method selects the scoring rule implemented by the default selector.
 	Method Method
 	// Params are the protocol constants; zero value means DefaultParams(Method).
 	Params Params
+	// Selector, if non-nil, overrides Method as the per-node decision
+	// policy: the engine becomes a driver that feeds it observations and
+	// applies its keep/drop/dial decisions. Nil means
+	// SelectorFromMethod(Method, Params).
+	Selector Selector
 	// Table is the evolving connection table (pre-seeded, e.g. by
 	// topology.Random). The engine takes ownership.
 	Table *topology.Table
@@ -131,8 +136,8 @@ type Config struct {
 // network, as the paper does: connection updates execute synchronously at
 // all nodes after each round's blocks are broadcast (§2.1).
 type Engine struct {
-	method       Method
 	params       Params
+	selector     Selector
 	table        *topology.Table
 	lat          latency.Model
 	forward      []time.Duration
@@ -142,15 +147,16 @@ type Engine struct {
 	silent       []bool
 	sendInterval []time.Duration
 	rand         *rng.RNG
-	sampler      *hashpower.Sampler
-	workers      int
-	observer     Observer
-	dynamics     Dynamics
+	// selRand roots the per-(round, node) streams handed to the selector;
+	// derivation is stateless, so selector draws never perturb the engine
+	// stream.
+	selRand  *rng.RNG
+	sampler  *hashpower.Sampler
+	workers  int
+	observer Observer
+	dynamics Dynamics
 
 	round int
-	// ucbHist[v][u] accumulates finite offsets for v's outgoing neighbor u
-	// across the rounds their connection has been alive.
-	ucbHist []map[int][]time.Duration
 }
 
 // RoundReport summarizes one protocol round.
@@ -260,9 +266,16 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	sel := cfg.Selector
+	if sel == nil {
+		sel, err = SelectorFromMethod(cfg.Method, params)
+		if err != nil {
+			return nil, err
+		}
+	}
 	e := &Engine{
-		method:       cfg.Method,
 		params:       params,
+		selector:     sel,
 		table:        cfg.Table,
 		lat:          cfg.Latency,
 		forward:      cfg.Forward,
@@ -272,16 +285,11 @@ func NewEngine(cfg Config) (*Engine, error) {
 		silent:       cfg.Silent,
 		sendInterval: cfg.SendInterval,
 		rand:         cfg.Rand,
+		selRand:      cfg.Rand.Derive("selector"),
 		sampler:      sampler,
 		workers:      cfg.Workers,
 		observer:     cfg.Observer,
 		dynamics:     cfg.Dynamics,
-	}
-	if cfg.Method == UCB {
-		e.ucbHist = make([]map[int][]time.Duration, n)
-		for v := range e.ucbHist {
-			e.ucbHist[v] = make(map[int][]time.Duration)
-		}
 	}
 	return e, nil
 }
@@ -434,36 +442,42 @@ func (e *Engine) Step() (RoundReport, error) {
 	return report, nil
 }
 
-// update applies the method-specific neighbor update synchronously at all
-// nodes: first every node decides which neighbors to keep, then all drops
-// happen, then all exploration connections are established in random node
-// order. The decide phase is pure per node (it reads only obs[v] and
-// e.ucbHist[v]), so it fans out over the worker pool; the table mutations
-// and RNG-driven exploration stay sequential. When ev is non-nil the exact
-// dropped/added edges are recorded into it for the observer.
+// update applies the selector's neighbor update synchronously at all
+// nodes: first every node's decision is computed, then all drops happen,
+// then all exploration connections are established in random node order.
+// The decide phase is pure per node (it reads only obs[v] plus any state
+// the selector keys by node), so it fans out over the worker pool; the
+// table mutations and RNG-driven exploration stay sequential. When ev is
+// non-nil the exact dropped/added edges are recorded into it for the
+// observer.
 func (e *Engine) update(obs []Observations, ev *RoundEvent) (RoundReport, error) {
 	n := e.table.N()
 	var report RoundReport
-	drop := make([][]int, n) // node IDs to disconnect, per node
+	decisions := make([]Decision, n)
+	roundRand := e.selRand.DeriveIndexed("round", e.round+1)
 	err := parallel.ForEachIndexed(n, e.workerCount(n), func(_, v int) error {
 		if e.frozen != nil && e.frozen[v] {
 			return nil
 		}
-		switch e.method {
-		case Vanilla:
-			drop[v] = e.decideVanilla(obs[v])
-		case Subset:
-			drop[v] = e.decideSubset(obs[v])
-		case UCB:
-			drop[v] = e.decideUCB(v, obs[v])
+		d, err := Decide(e.selector, NeighborView{
+			Node:       v,
+			OutDegree:  e.params.OutDegree,
+			Candidates: n - 1,
+			Obs:        obs[v],
+			Rand:       roundRand.DeriveIndexed("node", v),
+		})
+		if err != nil {
+			return err
 		}
+		decisions[v] = d
 		return nil
 	})
 	if err != nil {
 		return report, err
 	}
 	for v := 0; v < n; v++ {
-		for _, u := range drop[v] {
+		for _, i := range decisions[v].Drop {
+			u := obs[v].Neighbors[i]
 			if err := e.table.Disconnect(v, u); err != nil {
 				return report, fmt.Errorf("core: dropping %d->%d: %w", v, u, err)
 			}
@@ -473,8 +487,8 @@ func (e *Engine) update(obs []Observations, ev *RoundEvent) (RoundReport, error)
 			}
 		}
 	}
-	// Exploration: refill to OutDegree in random node order so no node is
-	// systematically advantaged in the race for incoming slots.
+	// Exploration: spend each node's dial budget in random node order so
+	// no node is systematically advantaged in the race for incoming slots.
 	var record *[][2]int
 	if ev != nil {
 		record = &ev.Added
@@ -483,93 +497,22 @@ func (e *Engine) update(obs []Observations, ev *RoundEvent) (RoundReport, error)
 		if e.frozen != nil && e.frozen[v] {
 			continue
 		}
-		added, unfilled := e.explore(v, record)
+		added, unfilled := e.explore(v, e.table.OutDegree(v)+decisions[v].Dial, record)
 		report.Added += added
 		report.Unfilled += unfilled
-	}
-	if e.method == UCB {
-		e.recordUCBHistory(obs)
 	}
 	return report, nil
 }
 
-// decideVanilla returns the outgoing neighbors v should drop under
-// independent percentile scoring: everyone outside the best
-// OutDegree−Explore.
-func (e *Engine) decideVanilla(o Observations) []int {
-	retain := e.params.OutDegree - e.params.Explore
-	if len(o.Neighbors) <= retain {
-		return nil
-	}
-	scores := VanillaScores(o, e.params.Percentile)
-	ranked := RankByScore(o, scores)
-	return neighborsAtRanks(o, ranked[retain:])
-}
-
-// decideSubset returns the drops under greedy joint scoring.
-func (e *Engine) decideSubset(o Observations) []int {
-	retain := e.params.OutDegree - e.params.Explore
-	if len(o.Neighbors) <= retain {
-		return nil
-	}
-	keep := SubsetSelect(o, retain, e.params.Percentile)
-	keepSet := make(map[int]bool, len(keep))
-	for _, i := range keep {
-		keepSet[i] = true
-	}
-	var drops []int
-	for i := range o.Neighbors {
-		if !keepSet[i] {
-			drops = append(drops, o.Neighbors[i])
-		}
-	}
-	return drops
-}
-
-// decideUCB evicts at most one neighbor, when the confidence intervals of
-// eq. (3)–(4) separate; histories accumulate across rounds.
-func (e *Engine) decideUCB(v int, o Observations) []int {
-	k := len(o.Neighbors)
-	if k == 0 {
-		return nil
-	}
-	lcbs := make([]time.Duration, k)
-	ucbs := make([]time.Duration, k)
-	for i, u := range o.Neighbors {
-		samples := e.ucbHist[v][u]
-		// Include this round's finite offsets in the decision.
-		for _, row := range o.Offsets {
-			if row[i] != stats.InfDuration {
-				samples = append(samples, row[i])
-			}
-		}
-		lcbs[i], ucbs[i] = UCBBounds(samples, e.params.Percentile, e.params.UCBConstant)
-	}
-	evict := UCBEvict(lcbs, ucbs)
-	if evict == -1 {
-		return nil
-	}
-	return []int{o.Neighbors[evict]}
-}
-
-// neighborsAtRanks maps ranked indices back to neighbor IDs.
-func neighborsAtRanks(o Observations, ranks []int) []int {
-	out := make([]int, len(ranks))
-	for i, r := range ranks {
-		out[i] = o.Neighbors[r]
-	}
-	return out
-}
-
-// explore connects v to random fresh peers until it has OutDegree outgoing
+// explore connects v to random fresh peers until it has target outgoing
 // connections, honoring incoming caps. When record is non-nil, every
 // established edge (v, cand) is appended to it.
-func (e *Engine) explore(v int, record *[][2]int) (added, unfilled int) {
+func (e *Engine) explore(v, target int, record *[][2]int) (added, unfilled int) {
 	n := e.table.N()
 	attempts := 0
-	for e.table.OutDegree(v) < e.params.OutDegree {
+	for e.table.OutDegree(v) < target {
 		if attempts >= e.params.MaxDialAttempts {
-			unfilled = e.params.OutDegree - e.table.OutDegree(v)
+			unfilled = target - e.table.OutDegree(v)
 			return added, unfilled
 		}
 		attempts++
@@ -586,38 +529,6 @@ func (e *Engine) explore(v int, record *[][2]int) (added, unfilled int) {
 		}
 	}
 	return added, 0
-}
-
-// recordUCBHistory appends this round's finite offsets to the history of
-// every connection that survived, and resets history for connections that
-// no longer exist (fresh connections start with an empty record, §4.2.2).
-func (e *Engine) recordUCBHistory(obs []Observations) {
-	n := e.table.N()
-	for v := 0; v < n; v++ {
-		current := make(map[int]bool, e.params.OutDegree)
-		for _, u := range e.table.OutNeighbors(v) {
-			current[u] = true
-		}
-		o := obs[v]
-		for i, u := range o.Neighbors {
-			if !current[u] {
-				delete(e.ucbHist[v], u)
-				continue
-			}
-			for _, row := range o.Offsets {
-				if row[i] != stats.InfDuration {
-					e.ucbHist[v][u] = append(e.ucbHist[v][u], row[i])
-				}
-			}
-		}
-		// Drop histories of connections that disappeared for any other
-		// reason (e.g. future churn extensions).
-		for u := range e.ucbHist[v] {
-			if !current[u] {
-				delete(e.ucbHist[v], u)
-			}
-		}
-	}
 }
 
 // Run executes rounds protocol rounds, returning the last report.
@@ -776,6 +687,7 @@ func (e *Engine) Churn(nodes []int) error {
 			return fmt.Errorf("core: churn node %d out of range (n=%d)", v, n)
 		}
 	}
+	resetter, _ := e.selector.(NodeStateResetter)
 	for _, v := range nodes {
 		for _, u := range e.table.OutNeighbors(v) {
 			if err := e.table.Disconnect(v, u); err != nil {
@@ -786,12 +698,12 @@ func (e *Engine) Churn(nodes []int) error {
 			if err := e.table.Disconnect(u, v); err != nil {
 				return fmt.Errorf("core: churn dropping %d->%d: %w", u, v, err)
 			}
-			if e.ucbHist != nil {
-				delete(e.ucbHist[u], v)
-			}
 		}
-		if e.ucbHist != nil {
-			e.ucbHist[v] = make(map[int][]time.Duration)
+		// The fresh peer at index v starts with no accumulated scoring
+		// state. In-neighbor histories for v age out on their own: v is no
+		// longer in their next view, so stateful selectors forget it.
+		if resetter != nil {
+			resetter.ResetNodeState(v)
 		}
 	}
 	// Fresh nodes bootstrap with random outgoing connections.
@@ -799,7 +711,7 @@ func (e *Engine) Churn(nodes []int) error {
 		if e.frozen != nil && e.frozen[v] {
 			continue
 		}
-		e.explore(v, nil)
+		e.explore(v, e.params.OutDegree, nil)
 	}
 	return nil
 }

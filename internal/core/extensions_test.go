@@ -88,16 +88,30 @@ func TestChurnClearsUCBHistory(t *testing.T) {
 	if err := e.Churn([]int{5}); err != nil {
 		t.Fatal(err)
 	}
-	if len(e.ucbHist[5]) != 0 {
-		t.Fatalf("churned node retains %d histories", len(e.ucbHist[5]))
+	sel, ok := e.selector.(*ucbSelector)
+	if !ok {
+		t.Fatalf("UCB engine runs selector %T", e.selector)
 	}
-	for v := 0; v < e.N(); v++ {
-		if _, ok := e.ucbHist[v][5]; ok {
-			t.Fatalf("node %d retains history for churned neighbor 5", v)
-		}
+	sel.mu.Lock()
+	kept := len(sel.hist[5])
+	sel.mu.Unlock()
+	if kept != 0 {
+		t.Fatalf("churned node retains %d histories", kept)
 	}
+	// Histories that in-neighbors held for node 5 age out at their next
+	// decision (5 is no longer in their view): after one round, every
+	// history entry must belong to a live outgoing connection.
 	if _, err := e.Step(); err != nil {
 		t.Fatal(err)
+	}
+	sel.mu.Lock()
+	defer sel.mu.Unlock()
+	for v := 0; v < e.N(); v++ {
+		for u := range sel.hist[v] {
+			if !e.Table().HasOut(v, u) {
+				t.Fatalf("node %d retains history for non-neighbor %d", v, u)
+			}
+		}
 	}
 }
 

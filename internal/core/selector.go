@@ -1,0 +1,384 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/perigee-net/perigee/internal/rng"
+	"github.com/perigee-net/perigee/internal/stats"
+)
+
+// NeighborView is the per-node, per-round input handed to a Selector: the
+// raw block-arrival observations for the node's current outgoing neighbors
+// plus the protocol context the decision may depend on. The same view
+// shape is produced by both drivers of the decision loop — the simulation
+// engine (Engine.Step) and the live TCP node (internal/p2p) — so one
+// Selector runs unmodified in either environment.
+type NeighborView struct {
+	// Node is the driver-assigned stable key of the deciding node. The
+	// simulator uses the node index; a live node uses the two's-complement
+	// view of its 64-bit node ID. Stateful selectors key cross-round state
+	// by it.
+	Node int
+	// OutDegree is the target number of outgoing connections.
+	OutDegree int
+	// Candidates is how many distinct peers the driver could dial beyond
+	// the current neighbors (network size minus one in the simulator, the
+	// address-book size on a live node). Informational.
+	Candidates int
+	// Obs holds the round's per-neighbor arrival offsets.
+	Obs Observations
+	// Rand is a deterministic random stream derived for this (node, round)
+	// pair. Randomized selectors must draw from it — and only it — so runs
+	// stay reproducible at any worker count.
+	Rand *rng.RNG
+}
+
+// Decision is a Selector's verdict for one node and one round. Keep and
+// Drop index into the view's Obs.Neighbors and must partition it: every
+// neighbor index appears in exactly one of the two lists. Dial is the
+// exploration budget — how many fresh connections the driver should
+// attempt to establish.
+type Decision struct {
+	// Keep lists the neighbor indices to retain.
+	Keep []int
+	// Drop lists the neighbor indices to disconnect, in the order the
+	// driver should report them.
+	Drop []int
+	// Dial is the number of new connections to attempt.
+	Dial int
+}
+
+// Selector is the Perigee decision loop abstracted from its environment:
+// observations in, keep/drop/dial decisions out (§4 of the paper). Drivers
+// may invoke SelectNeighbors concurrently for distinct nodes, so stateful
+// implementations must synchronize access to cross-round state (and key it
+// by view.Node).
+type Selector interface {
+	SelectNeighbors(view NeighborView) (Decision, error)
+}
+
+// SelectorFunc adapts a plain function to the Selector interface.
+type SelectorFunc func(view NeighborView) (Decision, error)
+
+// SelectNeighbors implements Selector.
+func (f SelectorFunc) SelectNeighbors(view NeighborView) (Decision, error) { return f(view) }
+
+// NodeStateResetter is implemented by stateful selectors (such as UCB)
+// that accumulate per-node history across rounds. Drivers call
+// ResetNodeState when a node's identity is reset — e.g. churn replacing it
+// with a fresh peer — so stale history cannot leak into the replacement.
+type NodeStateResetter interface {
+	ResetNodeState(node int)
+}
+
+// Decide runs the selector on the view and validates the decision: Keep
+// and Drop must partition the neighbor indices, and Dial must be
+// non-negative. Both drivers route every selector call through it.
+func Decide(sel Selector, view NeighborView) (Decision, error) {
+	d, err := sel.SelectNeighbors(view)
+	if err != nil {
+		return Decision{}, fmt.Errorf("core: selector for node %d: %w", view.Node, err)
+	}
+	if err := ValidateDecision(d, len(view.Obs.Neighbors)); err != nil {
+		return Decision{}, fmt.Errorf("core: selector for node %d: %w", view.Node, err)
+	}
+	return d, nil
+}
+
+// ValidateDecision checks a decision against the neighbor count it was
+// made for: every index in [0, neighbors) must appear exactly once across
+// Keep and Drop, and Dial must be non-negative.
+func ValidateDecision(d Decision, neighbors int) error {
+	if d.Dial < 0 {
+		return fmt.Errorf("negative dial budget %d", d.Dial)
+	}
+	seen := make([]bool, neighbors)
+	mark := func(list string, idx int) error {
+		if idx < 0 || idx >= neighbors {
+			return fmt.Errorf("%s index %d outside [0, %d)", list, idx, neighbors)
+		}
+		if seen[idx] {
+			return fmt.Errorf("neighbor index %d decided twice", idx)
+		}
+		seen[idx] = true
+		return nil
+	}
+	for _, i := range d.Keep {
+		if err := mark("keep", i); err != nil {
+			return err
+		}
+	}
+	for _, i := range d.Drop {
+		if err := mark("drop", i); err != nil {
+			return err
+		}
+	}
+	if got := len(d.Keep) + len(d.Drop); got != neighbors {
+		return fmt.Errorf("decision covers %d of %d neighbors", got, neighbors)
+	}
+	return nil
+}
+
+// SelectorFromMethod builds the built-in selector implementing the given
+// scoring method with the protocol constants in p.
+func SelectorFromMethod(m Method, p Params) (Selector, error) {
+	switch m {
+	case Vanilla:
+		return NewVanillaSelector(p.Explore, p.Percentile)
+	case Subset:
+		return NewSubsetSelector(p.Explore, p.Percentile)
+	case UCB:
+		return NewUCBSelector(p.Percentile, p.UCBConstant)
+	default:
+		return nil, fmt.Errorf("core: no selector for method %d", int(m))
+	}
+}
+
+// dialBudget refills toward the out-degree target: the number of dials
+// that brings a node with k neighbors and the given drops back to
+// outDegree outgoing connections.
+func dialBudget(outDegree, neighbors, drops int) int {
+	dial := outDegree - (neighbors - drops)
+	if dial < 0 {
+		dial = 0
+	}
+	return dial
+}
+
+// keepAll is the no-drop decision: retain every neighbor and refill any
+// unfilled slots.
+func keepAll(view NeighborView) Decision {
+	k := len(view.Obs.Neighbors)
+	keep := make([]int, k)
+	for i := range keep {
+		keep[i] = i
+	}
+	return Decision{Keep: keep, Dial: dialBudget(view.OutDegree, k, 0)}
+}
+
+func validateExplore(explore int) error {
+	if explore < 0 {
+		return fmt.Errorf("core: explore count %d must be non-negative", explore)
+	}
+	return nil
+}
+
+func validatePercentile(pct float64) error {
+	if pct <= 0 || pct > 1 {
+		return fmt.Errorf("core: percentile %v outside (0, 1]", pct)
+	}
+	return nil
+}
+
+// retainTarget is the number of neighbors a rotation selector keeps:
+// OutDegree minus its exploration quota, floored at zero for undersized
+// custom out-degrees.
+func retainTarget(outDegree, explore int) int {
+	retain := outDegree - explore
+	if retain < 0 {
+		retain = 0
+	}
+	return retain
+}
+
+// vanillaSelector scores each neighbor independently by the
+// pct-percentile of its offsets (§4.2.1) and rotates the worst explore of
+// them out every round.
+type vanillaSelector struct {
+	explore int
+	pct     float64
+}
+
+// NewVanillaSelector builds the §4.2.1 independent-percentile selector:
+// each round it keeps the OutDegree−explore best-scoring neighbors, drops
+// the rest, and dials back up to OutDegree.
+func NewVanillaSelector(explore int, percentile float64) (Selector, error) {
+	if err := validateExplore(explore); err != nil {
+		return nil, err
+	}
+	if err := validatePercentile(percentile); err != nil {
+		return nil, err
+	}
+	return &vanillaSelector{explore: explore, pct: percentile}, nil
+}
+
+func (s *vanillaSelector) SelectNeighbors(view NeighborView) (Decision, error) {
+	k := len(view.Obs.Neighbors)
+	retain := retainTarget(view.OutDegree, s.explore)
+	if k <= retain {
+		return keepAll(view), nil
+	}
+	scores := VanillaScores(view.Obs, s.pct)
+	ranked := RankByScore(view.Obs, scores)
+	// Drops stay in ranked (worst-last) order so driver churn reports are
+	// deterministic and match the historical engine behavior.
+	keep := append([]int(nil), ranked[:retain]...)
+	drop := append([]int(nil), ranked[retain:]...)
+	return Decision{Keep: keep, Drop: drop, Dial: dialBudget(view.OutDegree, k, len(drop))}, nil
+}
+
+// subsetSelector greedily keeps the group of neighbors whose joint
+// delivery profile is fastest (§4.3), the paper's preferred rule.
+type subsetSelector struct {
+	explore int
+	pct     float64
+}
+
+// NewSubsetSelector builds the §4.3 joint-scoring selector: each round it
+// keeps the OutDegree−explore neighbors whose combined per-block minima
+// are fastest, drops the rest, and dials back up to OutDegree.
+func NewSubsetSelector(explore int, percentile float64) (Selector, error) {
+	if err := validateExplore(explore); err != nil {
+		return nil, err
+	}
+	if err := validatePercentile(percentile); err != nil {
+		return nil, err
+	}
+	return &subsetSelector{explore: explore, pct: percentile}, nil
+}
+
+func (s *subsetSelector) SelectNeighbors(view NeighborView) (Decision, error) {
+	k := len(view.Obs.Neighbors)
+	retain := retainTarget(view.OutDegree, s.explore)
+	if k <= retain {
+		return keepAll(view), nil
+	}
+	keep := SubsetSelect(view.Obs, retain, s.pct)
+	keepSet := make(map[int]bool, len(keep))
+	for _, i := range keep {
+		keepSet[i] = true
+	}
+	drop := make([]int, 0, k-len(keep))
+	for i := 0; i < k; i++ {
+		if !keepSet[i] {
+			drop = append(drop, i)
+		}
+	}
+	return Decision{Keep: keep, Drop: drop, Dial: dialBudget(view.OutDegree, k, len(drop))}, nil
+}
+
+// ucbSelector maintains per-neighbor confidence intervals over offsets
+// accumulated across the rounds a connection stays alive (§4.2.2) and
+// evicts at most one neighbor per round, when the intervals separate.
+type ucbSelector struct {
+	pct float64
+	c   time.Duration
+
+	mu sync.Mutex
+	// hist[node][neighbor] accumulates finite offsets while the connection
+	// is alive. Guarded by mu because drivers decide distinct nodes
+	// concurrently; per-node entries are disjoint, so locking does not
+	// perturb determinism.
+	hist map[int]map[int][]time.Duration
+}
+
+// NewUCBSelector builds the §4.2.2 confidence-bound selector with the
+// given scoring percentile and exploration constant c of eq. (3)–(4). It
+// is stateful: offsets accumulate per (node, neighbor) across rounds, so
+// give each independent experiment its own instance.
+func NewUCBSelector(percentile float64, confidence time.Duration) (Selector, error) {
+	if err := validatePercentile(percentile); err != nil {
+		return nil, err
+	}
+	if confidence < 0 {
+		return nil, fmt.Errorf("core: UCB constant %v must be non-negative", confidence)
+	}
+	return &ucbSelector{pct: percentile, c: confidence, hist: make(map[int]map[int][]time.Duration)}, nil
+}
+
+func (s *ucbSelector) SelectNeighbors(view NeighborView) (Decision, error) {
+	k := len(view.Obs.Neighbors)
+	if k == 0 {
+		return keepAll(view), nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	nodeHist := s.hist[view.Node]
+
+	lcbs := make([]time.Duration, k)
+	ucbs := make([]time.Duration, k)
+	for i, u := range view.Obs.Neighbors {
+		samples := nodeHist[u]
+		// Include this round's finite offsets in the decision.
+		for _, row := range view.Obs.Offsets {
+			if row[i] != stats.InfDuration {
+				samples = append(samples, row[i])
+			}
+		}
+		lcbs[i], ucbs[i] = UCBBounds(samples, s.pct, s.c)
+	}
+	evict := UCBEvict(lcbs, ucbs)
+
+	keep := make([]int, 0, k)
+	var drop []int
+	for i := 0; i < k; i++ {
+		if i == evict {
+			drop = append(drop, i)
+			continue
+		}
+		keep = append(keep, i)
+	}
+
+	// Histories survive only for kept connections: dropped neighbors are
+	// forgotten, and neighbors that disappeared outside the decision loop
+	// (e.g. churn) age out because they no longer appear in the view.
+	next := make(map[int][]time.Duration, len(keep))
+	for _, i := range keep {
+		u := view.Obs.Neighbors[i]
+		samples := nodeHist[u]
+		for _, row := range view.Obs.Offsets {
+			if row[i] != stats.InfDuration {
+				samples = append(samples, row[i])
+			}
+		}
+		next[u] = samples
+	}
+	s.hist[view.Node] = next
+
+	return Decision{Keep: keep, Drop: drop, Dial: dialBudget(view.OutDegree, k, len(drop))}, nil
+}
+
+// ResetNodeState implements NodeStateResetter: a churned node restarts
+// with no accumulated history.
+func (s *ucbSelector) ResetNodeState(node int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.hist, node)
+}
+
+// randomSelector keeps a uniformly random subset each round — the
+// "Random" baseline the paper's evaluation compares against.
+type randomSelector struct {
+	explore int
+}
+
+// NewRandomSelector builds the random-rotation baseline: each round it
+// keeps a uniformly random OutDegree−explore subset of the current
+// neighbors and dials fresh peers for the rest. Draws come from the
+// view's derived random stream, so runs stay reproducible.
+func NewRandomSelector(explore int) (Selector, error) {
+	if err := validateExplore(explore); err != nil {
+		return nil, err
+	}
+	return &randomSelector{explore: explore}, nil
+}
+
+func (s *randomSelector) SelectNeighbors(view NeighborView) (Decision, error) {
+	k := len(view.Obs.Neighbors)
+	retain := retainTarget(view.OutDegree, s.explore)
+	if k <= retain {
+		return keepAll(view), nil
+	}
+	if view.Rand == nil {
+		return Decision{}, fmt.Errorf("core: random selector needs a view random stream")
+	}
+	perm := view.Rand.Perm(k)
+	keep := append([]int(nil), perm[:retain]...)
+	drop := append([]int(nil), perm[retain:]...)
+	sort.Ints(keep)
+	sort.Ints(drop)
+	return Decision{Keep: keep, Drop: drop, Dial: dialBudget(view.OutDegree, k, len(drop))}, nil
+}

@@ -15,6 +15,10 @@ import (
 	"github.com/perigee-net/perigee/internal/wire"
 )
 
+// ExploreNone requests exactly zero exploration slots through Config,
+// whose zero-valued Explore means "use the default of 2".
+const ExploreNone = -1
+
 // Config assembles a live node.
 type Config struct {
 	// NodeID is the node's identity; zero means "derive from the seed".
@@ -29,10 +33,25 @@ type Config struct {
 	// OutDegree is the target number of outbound connections maintained by
 	// the Perigee round (default 8).
 	OutDegree int
-	// Explore is the number of exploration slots per round (default 2).
+	// Explore is the number of exploration slots per round used by the
+	// default selector (default 2; pass ExploreNone for an explicit zero).
+	// Ignored when Selector is set.
 	Explore int
-	// Percentile is the scoring quantile (default 0.9).
+	// Percentile is the scoring quantile in (0, 1] used by the default
+	// selector (default 0.9). Ignored when Selector is set.
 	Percentile float64
+	// Selector decides which outbound peers to keep, drop, and redial each
+	// round. Nil means Subset scoring (the paper's preferred rule) with
+	// the configured Explore and Percentile — the same default as the
+	// simulator.
+	Selector core.Selector
+	// RoundBlocks, when positive, triggers a Perigee round automatically
+	// as soon as that many blocks have been observed since the last round.
+	// Zero means rounds run only when PerigeeRound is called.
+	RoundBlocks int
+	// OnRound, when non-nil, receives every completed round's report —
+	// manual and automatic alike — synchronously at the end of the round.
+	OnRound func(RoundReport)
 	// Genesis anchors the node's chain; all nodes of a network must share
 	// it.
 	Genesis *chain.Block
@@ -46,31 +65,53 @@ type Config struct {
 	Logf func(format string, args ...any)
 }
 
-func (c *Config) applyDefaults() {
+// applyDefaults resolves zero values to the paper's defaults and rejects
+// explicit out-of-range values instead of silently overwriting them.
+func (c *Config) applyDefaults() error {
 	if c.MaxInbound == 0 {
 		c.MaxInbound = 20
+	} else if c.MaxInbound < 0 {
+		return fmt.Errorf("p2p: inbound cap %d must be positive", c.MaxInbound)
 	}
 	if c.OutDegree == 0 {
 		c.OutDegree = 8
+	} else if c.OutDegree < 0 {
+		return fmt.Errorf("p2p: out-degree %d must be positive", c.OutDegree)
 	}
-	if c.Explore == 0 {
+	switch {
+	case c.Explore == ExploreNone:
+		c.Explore = 0
+	case c.Explore == 0:
 		c.Explore = 2
+	case c.Explore < 0:
+		return fmt.Errorf("p2p: explore count %d must be non-negative (use ExploreNone for zero)", c.Explore)
 	}
 	if c.Percentile == 0 {
 		c.Percentile = 0.9
+	} else if c.Percentile < 0 || c.Percentile > 1 {
+		return fmt.Errorf("p2p: percentile %v outside (0, 1]", c.Percentile)
+	}
+	if c.RoundBlocks < 0 {
+		return fmt.Errorf("p2p: round blocks %d must be non-negative", c.RoundBlocks)
 	}
 	if c.HandshakeTimeout == 0 {
 		c.HandshakeTimeout = 5 * time.Second
+	} else if c.HandshakeTimeout < 0 {
+		return fmt.Errorf("p2p: negative handshake timeout %v", c.HandshakeTimeout)
 	}
+	return nil
 }
 
 // Node is a live Perigee peer: it gossips blocks over TCP and periodically
 // re-selects its outbound neighbors from measured arrival times.
 type Node struct {
-	cfg   Config
-	store *chain.Store
-	book  *AddrBook
-	rand  *rng.RNG
+	cfg      Config
+	store    *chain.Store
+	book     *AddrBook
+	rand     *rng.RNG
+	selector core.Selector
+	// selRand roots the per-round streams handed to the selector.
+	selRand *rng.RNG
 
 	mu       sync.Mutex
 	peers    map[uint64]*peer
@@ -82,6 +123,10 @@ type Node struct {
 	order     []chain.Hash
 	requested map[chain.Hash]time.Time
 	orphans   map[chain.Hash][]*chain.Block
+	rounds    int // completed Perigee rounds
+
+	roundMu       sync.Mutex
+	roundInFlight bool
 
 	wg sync.WaitGroup
 }
@@ -91,12 +136,22 @@ var ErrStopped = errors.New("p2p: node stopped")
 
 // NewNode validates the config and builds a node (not yet started).
 func NewNode(cfg Config) (*Node, error) {
-	cfg.applyDefaults()
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
 	if cfg.Genesis == nil {
 		return nil, fmt.Errorf("p2p: nil genesis")
 	}
-	if cfg.Explore >= cfg.OutDegree {
-		return nil, fmt.Errorf("p2p: explore %d must be below out-degree %d", cfg.Explore, cfg.OutDegree)
+	selector := cfg.Selector
+	if selector == nil {
+		if cfg.Explore >= cfg.OutDegree {
+			return nil, fmt.Errorf("p2p: explore %d must be below out-degree %d", cfg.Explore, cfg.OutDegree)
+		}
+		var err error
+		selector, err = core.NewSubsetSelector(cfg.Explore, cfg.Percentile)
+		if err != nil {
+			return nil, err
+		}
 	}
 	store, err := chain.NewStore(cfg.Genesis)
 	if err != nil {
@@ -111,6 +166,8 @@ func NewNode(cfg Config) (*Node, error) {
 		store:     store,
 		book:      NewAddrBook(),
 		rand:      r,
+		selector:  selector,
+		selRand:   rng.New(cfg.Seed).Derive("p2p-selector"),
 		peers:     make(map[uint64]*peer),
 		firstSeen: make(map[chain.Hash]map[uint64]time.Time),
 		requested: make(map[chain.Hash]time.Time),
@@ -508,6 +565,7 @@ func (n *Node) acceptBlock(from *peer, b *chain.Block) {
 	for _, orphan := range pending {
 		n.acceptBlock(nil, orphan)
 	}
+	n.maybeAutoRound()
 }
 
 func (n *Node) broadcastInv(h chain.Hash, exceptID uint64) {
@@ -568,18 +626,27 @@ func (n *Node) Peers() []PeerInfo {
 
 // RoundReport summarizes one live Perigee round.
 type RoundReport struct {
+	// Round is the 1-based index of the completed round.
+	Round int
 	// BlocksScored is the number of blocks whose timestamps fed scoring.
 	BlocksScored int
-	// Dropped lists the outbound peer IDs disconnected.
+	// Kept lists the outbound peer IDs the selector retained.
+	Kept []uint64
+	// Dropped lists the outbound peer IDs disconnected, in the selector's
+	// drop order.
 	Dropped []uint64
+	// Added lists the peer IDs of outbound connections established by
+	// exploration.
+	Added []uint64
 	// Dialed lists the fresh addresses connected for exploration.
 	Dialed []string
 }
 
-// PerigeeRound scores the current outbound peers on the block arrival
-// timestamps observed since the last round, keeps the best
-// OutDegree−Explore, disconnects the rest, and dials fresh addresses from
-// the book. It then resets the observation window.
+// PerigeeRound runs one live decision round: it feeds the block arrival
+// timestamps observed since the last round to the node's Selector,
+// disconnects the peers the selector dropped, spends its dial budget on
+// fresh addresses from the book, and resets the observation window. The
+// node is a driver — all policy lives in the Selector.
 func (n *Node) PerigeeRound() (RoundReport, error) {
 	n.mu.Lock()
 	if n.closed {
@@ -619,29 +686,36 @@ func (n *Node) PerigeeRound() (RoundReport, error) {
 			}
 		}
 	}
-	// Reset the observation window.
+	// Reset the observation window and claim the round index.
 	n.order = nil
 	n.firstSeen = make(map[chain.Hash]map[uint64]time.Time)
 	n.requested = make(map[chain.Hash]time.Time)
+	n.rounds++
+	round := n.rounds
 	n.obsMu.Unlock()
+	report.Round = round
 	report.BlocksScored = len(blocks)
 
-	retain := n.cfg.OutDegree - n.cfg.Explore
-	if len(outbound) > retain {
-		keep := core.SubsetSelect(obs, retain, n.cfg.Percentile)
-		keepSet := make(map[int]bool, len(keep))
-		for _, i := range keep {
-			keepSet[i] = true
-		}
-		for i, p := range outbound {
-			if !keepSet[i] {
-				report.Dropped = append(report.Dropped, p.id)
-				n.removePeer(p)
-			}
-		}
+	decision, err := core.Decide(n.selector, core.NeighborView{
+		Node:       int(n.cfg.NodeID),
+		OutDegree:  n.cfg.OutDegree,
+		Candidates: n.book.Len(),
+		Obs:        obs,
+		Rand:       n.selRand.DeriveIndexed("round", round),
+	})
+	if err != nil {
+		return report, fmt.Errorf("p2p: round %d: %w", round, err)
+	}
+	for _, i := range decision.Keep {
+		report.Kept = append(report.Kept, outbound[i].id)
+	}
+	for _, i := range decision.Drop {
+		report.Dropped = append(report.Dropped, outbound[i].id)
+		n.removePeer(outbound[i])
 	}
 
-	// Exploration: dial fresh addresses until the outbound target is met.
+	// Exploration: spend the selector's dial budget on fresh addresses.
+	target := len(outbound) - len(decision.Drop) + decision.Dial
 	exclude := map[string]bool{n.Addr(): true}
 	for _, p := range n.peerSnapshot() {
 		if p.listenAddr != "" {
@@ -651,7 +725,7 @@ func (n *Node) PerigeeRound() (RoundReport, error) {
 	candidates := n.book.All()
 	n.shuffleStrings(candidates)
 	for _, addr := range candidates {
-		if n.OutboundCount() >= n.cfg.OutDegree {
+		if n.OutboundCount() >= target {
 			break
 		}
 		if exclude[addr] {
@@ -664,7 +738,66 @@ func (n *Node) PerigeeRound() (RoundReport, error) {
 		exclude[addr] = true
 		report.Dialed = append(report.Dialed, addr)
 	}
+	report.Added = n.outboundDiff(report.Kept)
+	if n.cfg.OnRound != nil {
+		n.cfg.OnRound(report)
+	}
 	return report, nil
+}
+
+// outboundDiff returns the current outbound peer IDs not present in
+// before, sorted ascending — the connections exploration just added.
+func (n *Node) outboundDiff(before []uint64) []uint64 {
+	known := make(map[uint64]bool, len(before))
+	for _, id := range before {
+		known[id] = true
+	}
+	var added []uint64
+	for _, p := range n.peerSnapshot() {
+		if p.direction == Outbound && !known[p.id] {
+			added = append(added, p.id)
+		}
+	}
+	return added
+}
+
+// maybeAutoRound triggers a Perigee round in the background once the
+// observation window reaches the configured RoundBlocks threshold. At
+// most one automatic round runs at a time.
+func (n *Node) maybeAutoRound() {
+	if n.cfg.RoundBlocks <= 0 || n.ObservationWindow() < n.cfg.RoundBlocks {
+		return
+	}
+	n.roundMu.Lock()
+	if n.roundInFlight {
+		n.roundMu.Unlock()
+		return
+	}
+	n.roundInFlight = true
+	n.roundMu.Unlock()
+	// Serialize the Add against Stop's closed flag so the waiter never
+	// races a fresh goroutine.
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		n.roundMu.Lock()
+		n.roundInFlight = false
+		n.roundMu.Unlock()
+		return
+	}
+	n.wg.Add(1)
+	n.mu.Unlock()
+	go func() {
+		defer n.wg.Done()
+		defer func() {
+			n.roundMu.Lock()
+			n.roundInFlight = false
+			n.roundMu.Unlock()
+		}()
+		if _, err := n.PerigeeRound(); err != nil && !errors.Is(err, ErrStopped) {
+			n.logf("automatic perigee round: %v", err)
+		}
+	}()
 }
 
 func (n *Node) shuffleStrings(xs []string) {

@@ -340,6 +340,44 @@ func TestNewNodeValidation(t *testing.T) {
 	}
 }
 
+// TestConfigDefaultsAndValidation covers the applyDefaults fix: zero
+// values resolve to the paper's defaults, ExploreNone is an honored
+// explicit zero, and out-of-range values fail fast instead of being
+// silently overwritten.
+func TestConfigDefaultsAndValidation(t *testing.T) {
+	cfg := Config{Genesis: testGenesis()}
+	if err := cfg.applyDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MaxInbound != 20 || cfg.OutDegree != 8 || cfg.Explore != 2 || cfg.Percentile != 0.9 {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+	zero := Config{Genesis: testGenesis(), Explore: ExploreNone}
+	if err := zero.applyDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	if zero.Explore != 0 {
+		t.Fatalf("ExploreNone resolved to %d, want 0", zero.Explore)
+	}
+	if _, err := NewNode(Config{Genesis: testGenesis(), Explore: ExploreNone}); err != nil {
+		t.Fatalf("ExploreNone rejected: %v", err)
+	}
+	bad := []Config{
+		{Genesis: testGenesis(), Explore: -2},
+		{Genesis: testGenesis(), Percentile: -0.1},
+		{Genesis: testGenesis(), Percentile: 1.5},
+		{Genesis: testGenesis(), MaxInbound: -1},
+		{Genesis: testGenesis(), OutDegree: -8},
+		{Genesis: testGenesis(), RoundBlocks: -1},
+		{Genesis: testGenesis(), HandshakeTimeout: -time.Second},
+	}
+	for i, cfg := range bad {
+		if _, err := NewNode(cfg); err == nil {
+			t.Fatalf("invalid config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
 func TestNonListeningNode(t *testing.T) {
 	cfg := Config{Seed: 90, Genesis: testGenesis()}
 	n, err := NewNode(cfg)

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/perigee-net/perigee/internal/geo"
 	"github.com/perigee-net/perigee/internal/hashpower"
+	"github.com/perigee-net/perigee/internal/latency"
 	"github.com/perigee-net/perigee/internal/rng"
 	"github.com/perigee-net/perigee/internal/topology"
 )
@@ -32,6 +34,22 @@ type LatencyModel interface {
 	Delay(u, v int) time.Duration
 	// N returns the number of nodes the model covers.
 	N() int
+}
+
+// GeographicLatency samples the paper's geographic latency model (§3.1)
+// for n nodes from the given seed: nodes embedded near regional hubs with
+// last-mile access delays and per-link route noise. It is the model New
+// uses by default (with the network seed); the standalone constructor
+// exists so other drivers — most notably latency injection into live
+// nodes via node.WithLatencyInjection — can run against the same
+// environment the simulator evaluates.
+func GeographicLatency(n int, seed uint64) (LatencyModel, error) {
+	root := rng.New(seed)
+	universe, err := geo.SampleUniverse(n, root.Derive("universe"))
+	if err != nil {
+		return nil, err
+	}
+	return latency.NewGeographic(universe, root.Derive("latency"))
 }
 
 // latencyMatrix is a LatencyModel backed by an explicit n-by-n matrix.

@@ -1,0 +1,336 @@
+package node
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/perigee-net/perigee"
+	"github.com/perigee-net/perigee/internal/core"
+)
+
+// Option configures a live node under construction; see New. The options
+// mirror the simulator's root API: the same Selector values and the same
+// RoundStats observer payloads work in both environments.
+type Option func(*settings) error
+
+// settings accumulates option values before the node is built. Explicit
+// zero values are honored: exploreSet records whether the caller chose an
+// exploration count, so WithExplore(0) is never clobbered by the default.
+type settings struct {
+	listen     string
+	seed       uint64
+	seedSet    bool
+	nodeID     uint64
+	network    string
+	outDegree  int
+	maxInbound int
+	explore    int
+	exploreSet bool
+	percentile float64
+
+	scoring     perigee.Scoring
+	scoringSet  bool
+	selector    perigee.Selector
+	roundBlocks int
+
+	observers []Observer
+	peerDelay func(remoteID uint64) time.Duration
+	mine      time.Duration
+	handshake time.Duration
+	logf      func(format string, args ...any)
+}
+
+func defaultSettings() *settings {
+	return &settings{
+		network:    "perigee-devnet",
+		outDegree:  8,
+		maxInbound: 20,
+		percentile: 0.9,
+	}
+}
+
+// WithListen sets the accepting address ("127.0.0.1:0" for an ephemeral
+// port). The default is a client-only node that does not listen.
+func WithListen(addr string) Option {
+	return func(s *settings) error {
+		s.listen = addr
+		return nil
+	}
+}
+
+// WithSeed roots the node's local randomness (identity, nonces, address
+// shuffles, selector streams). The default is a fresh random seed per
+// node, so distinct nodes get distinct identities out of the box; give
+// each node its own explicit seed when reproducible behavior matters
+// (equal seeds mean equal node IDs, which refuse to interconnect).
+func WithSeed(seed uint64) Option {
+	return func(s *settings) error {
+		s.seed = seed
+		s.seedSet = true
+		return nil
+	}
+}
+
+// WithNodeID pins the node's 64-bit identity. The default derives it from
+// the seed.
+func WithNodeID(id uint64) Option {
+	return func(s *settings) error {
+		if id == 0 {
+			return fmt.Errorf("node: node ID must be non-zero")
+		}
+		s.nodeID = id
+		return nil
+	}
+}
+
+// WithNetwork sets the network tag anchoring the genesis block; all nodes
+// of one network must share it. Default "perigee-devnet".
+func WithNetwork(tag string) Option {
+	return func(s *settings) error {
+		if tag == "" {
+			return fmt.Errorf("node: empty network tag")
+		}
+		s.network = tag
+		return nil
+	}
+}
+
+// WithOutDegree sets the target number of outbound connections the
+// Perigee round maintains (paper: 8).
+func WithOutDegree(d int) Option {
+	return func(s *settings) error {
+		if d <= 0 {
+			return fmt.Errorf("node: out-degree %d must be positive", d)
+		}
+		s.outDegree = d
+		return nil
+	}
+}
+
+// WithMaxInbound caps accepted connections (paper: 20).
+func WithMaxInbound(m int) Option {
+	return func(s *settings) error {
+		if m <= 0 {
+			return fmt.Errorf("node: inbound cap %d must be positive", m)
+		}
+		s.maxInbound = m
+		return nil
+	}
+}
+
+// WithExplore sets the exploration slots per round used by the built-in
+// selectors (paper: 2). WithExplore(0) is an honored, explicit request
+// for zero exploration. Ignored when WithSelector installs a custom
+// policy.
+func WithExplore(e int) Option {
+	return func(s *settings) error {
+		if e < 0 {
+			return fmt.Errorf("node: explore count %d must be non-negative", e)
+		}
+		s.explore = e
+		s.exploreSet = true
+		return nil
+	}
+}
+
+// WithPercentile sets the scoring quantile in (0, 1] used by the built-in
+// selectors (paper: 0.9). Ignored when WithSelector installs a custom
+// policy.
+func WithPercentile(p float64) Option {
+	return func(s *settings) error {
+		if p <= 0 || p > 1 {
+			return fmt.Errorf("node: percentile %v outside (0, 1]", p)
+		}
+		s.percentile = p
+		return nil
+	}
+}
+
+// WithScoring selects a built-in Perigee scoring variant — a thin
+// constructor over WithSelector: the corresponding built-in selector is
+// installed with the configured explore count and percentile. Default
+// ScoringSubset, the paper's preferred rule. Mutually exclusive with
+// WithSelector.
+func WithScoring(scoring perigee.Scoring) Option {
+	return func(s *settings) error {
+		switch scoring {
+		case perigee.ScoringVanilla, perigee.ScoringUCB, perigee.ScoringSubset:
+			s.scoring = scoring
+			s.scoringSet = true
+			return nil
+		default:
+			return fmt.Errorf("node: unknown scoring variant %d", int(scoring))
+		}
+	}
+}
+
+// WithSelector installs the neighbor-selection policy driving the node's
+// per-round keep/drop/dial decision — the same perigee.Selector values
+// (built-in or custom) that drive the simulator via perigee.WithSelector.
+// Mutually exclusive with WithScoring.
+func WithSelector(sel perigee.Selector) Option {
+	return func(s *settings) error {
+		if sel == nil {
+			return fmt.Errorf("node: nil selector")
+		}
+		if e, ok := sel.(interface{ SelectorError() error }); ok {
+			if err := e.SelectorError(); err != nil {
+				return err
+			}
+		}
+		s.selector = sel
+		return nil
+	}
+}
+
+// WithRoundBlocks makes the node run a Perigee round automatically as
+// soon as b blocks have been observed since the last round. The default
+// is manual operation: rounds run only when Round is called.
+func WithRoundBlocks(b int) Option {
+	return func(s *settings) error {
+		if b <= 0 {
+			return fmt.Errorf("node: round blocks %d must be positive", b)
+		}
+		s.roundBlocks = b
+		return nil
+	}
+}
+
+// WithObserver attaches a streaming round observer; see Observer. May be
+// given multiple times — observers run in registration order.
+func WithObserver(o Observer) Option {
+	return func(s *settings) error {
+		if o == nil {
+			return fmt.Errorf("node: nil observer")
+		}
+		s.observers = append(s.observers, o)
+		return nil
+	}
+}
+
+// WithLatencyInjection applies an artificial one-way delay before every
+// message sent to the given remote node — latency injection for
+// single-machine experiments, e.g. replaying perigee.GeographicLatency
+// link delays over real TCP connections.
+func WithLatencyInjection(delay func(remoteID uint64) time.Duration) Option {
+	return func(s *settings) error {
+		if delay == nil {
+			return fmt.Errorf("node: nil latency injection")
+		}
+		s.peerDelay = delay
+		return nil
+	}
+}
+
+// WithMiner mines blocks on a Poisson schedule with the given mean
+// interval, starting when the node starts. The default is no mining.
+func WithMiner(mean time.Duration) Option {
+	return func(s *settings) error {
+		if mean <= 0 {
+			return fmt.Errorf("node: mining interval %v must be positive", mean)
+		}
+		s.mine = mean
+		return nil
+	}
+}
+
+// WithHandshakeTimeout bounds the version exchange when connecting
+// (default 5s).
+func WithHandshakeTimeout(d time.Duration) Option {
+	return func(s *settings) error {
+		if d <= 0 {
+			return fmt.Errorf("node: handshake timeout %v must be positive", d)
+		}
+		s.handshake = d
+		return nil
+	}
+}
+
+// WithLogf directs diagnostic log lines to f. The default discards them.
+func WithLogf(f func(format string, args ...any)) Option {
+	return func(s *settings) error {
+		if f == nil {
+			return fmt.Errorf("node: nil log function")
+		}
+		s.logf = f
+		return nil
+	}
+}
+
+// resolveSelector turns the configured policy into the core selector the
+// live driver runs: an explicit Selector wins, a scoring variant builds
+// the equivalent built-in with the node's explore count and percentile,
+// and the default is nil (the driver's own Subset default).
+func (s *settings) resolveSelector() (core.Selector, error) {
+	if s.selector != nil {
+		if s.scoringSet {
+			return nil, fmt.Errorf("node: WithSelector and WithScoring are mutually exclusive")
+		}
+		return coreSelector(s.selector)
+	}
+	if !s.scoringSet {
+		return nil, nil
+	}
+	explore := 2
+	if s.exploreSet {
+		explore = s.explore
+	}
+	// The same constraint the default (nil-selector) path enforces in the
+	// live driver: a rotation policy that explores its whole out-degree
+	// churns the full topology every round.
+	if s.scoring != perigee.ScoringUCB && explore >= s.outDegree {
+		return nil, fmt.Errorf("node: explore %d must be below out-degree %d", explore, s.outDegree)
+	}
+	var sel perigee.Selector
+	switch s.scoring {
+	case perigee.ScoringVanilla:
+		sel = perigee.VanillaSelector(explore, s.percentile)
+	case perigee.ScoringUCB:
+		sel = perigee.UCBSelector(s.percentile, 50*time.Millisecond)
+	default:
+		sel = perigee.SubsetSelector(explore, s.percentile)
+	}
+	return coreSelector(sel)
+}
+
+// coreSelector resolves a public selector for the live driver: built-ins
+// unwrap to their core implementation (surfacing construction errors);
+// custom selectors are bridged.
+func coreSelector(sel perigee.Selector) (core.Selector, error) {
+	if b, ok := sel.(interface {
+		CoreSelector() core.Selector
+		SelectorError() error
+	}); ok {
+		if err := b.SelectorError(); err != nil {
+			return nil, err
+		}
+		return b.CoreSelector(), nil
+	}
+	return selectorBridge{inner: sel}, nil
+}
+
+// selectorBridge adapts a user-implemented perigee.Selector to the core
+// interface the live driver runs.
+type selectorBridge struct {
+	inner perigee.Selector
+}
+
+func (sb selectorBridge) SelectNeighbors(view core.NeighborView) (core.Decision, error) {
+	d, err := sb.inner.SelectNeighbors(perigee.NeighborView{
+		Node:       view.Node,
+		OutDegree:  view.OutDegree,
+		Candidates: view.Candidates,
+		Observations: perigee.Observations{
+			Neighbors: view.Obs.Neighbors,
+			Offsets:   view.Obs.Offsets,
+		},
+		Rand: view.Rand,
+	})
+	return core.Decision(d), err
+}
+
+func (sb selectorBridge) ResetNodeState(node int) {
+	if r, ok := sb.inner.(perigee.NodeStateResetter); ok {
+		r.ResetNodeState(node)
+	}
+}

@@ -5,8 +5,6 @@ import (
 	"time"
 
 	"github.com/perigee-net/perigee/internal/core"
-	"github.com/perigee-net/perigee/internal/geo"
-	"github.com/perigee-net/perigee/internal/latency"
 	"github.com/perigee-net/perigee/internal/rng"
 )
 
@@ -32,6 +30,7 @@ type settings struct {
 	percentile     float64
 	workers        int
 
+	selector   Selector
 	latency    LatencyModel
 	power      PowerDist
 	validation ValidationDist
@@ -59,8 +58,12 @@ func WithSeed(seed uint64) Option {
 	}
 }
 
-// WithScoring selects the Perigee scoring variant. Default ScoringSubset,
-// the paper's preferred rule.
+// WithScoring selects the Perigee scoring variant — a thin constructor
+// over the Selector API: WithScoring(s) is equivalent to installing the
+// corresponding built-in (SubsetSelector, VanillaSelector, UCBSelector)
+// configured with the network's explore count and percentile.
+// WithSelector is the general option; use it for custom policies. Default
+// ScoringSubset, the paper's preferred rule.
 func WithScoring(scoring Scoring) Option {
 	return func(s *settings) error {
 		switch scoring {
@@ -142,6 +145,29 @@ func WithPercentile(p float64) Option {
 func WithWorkers(w int) Option {
 	return func(s *settings) error {
 		s.workers = w
+		return nil
+	}
+}
+
+// WithSelector installs the neighbor-selection policy driving every
+// node's per-round keep/drop/dial decision; see Selector. It is the
+// general form of WithScoring and accepts both the built-in policies
+// (SubsetSelector, VanillaSelector, UCBSelector, RandomSelector) and any
+// custom implementation — the same value plugs into a live node via
+// node.WithSelector. When a selector is installed it owns the decision
+// policy: WithScoring, WithExplore, and WithPercentile no longer
+// influence which neighbors are kept or how many fresh links are dialed.
+func WithSelector(sel Selector) Option {
+	return func(s *settings) error {
+		if sel == nil {
+			return fmt.Errorf("perigee: nil selector")
+		}
+		if e, ok := sel.(interface{ SelectorError() error }); ok {
+			if err := e.SelectorError(); err != nil {
+				return err
+			}
+		}
+		s.selector = sel
 		return nil
 	}
 }
@@ -256,11 +282,8 @@ func New(nodes int, opts ...Option) (*Network, error) {
 
 	lat := s.latency
 	if lat == nil {
-		universe, err := geo.SampleUniverse(nodes, root.Derive("universe"))
-		if err != nil {
-			return nil, err
-		}
-		lat, err = latency.NewGeographic(universe, root.Derive("latency"))
+		var err error
+		lat, err = GeographicLatency(nodes, s.seed)
 		if err != nil {
 			return nil, err
 		}
@@ -316,16 +339,30 @@ func New(nodes int, opts ...Option) (*Network, error) {
 		params.RoundBlocks = s.roundBlocks
 	}
 
+	// Resolve the decision policy: an explicit Selector wins; otherwise
+	// the scoring variant builds the equivalent built-in selector, so the
+	// engine is always selector-driven.
+	var coreSel core.Selector
+	if s.selector != nil {
+		coreSel, err = toCoreSelector(s.selector)
+	} else {
+		coreSel, err = core.SelectorFromMethod(s.scoring.method(), params)
+	}
+	if err != nil {
+		return nil, err
+	}
+
 	net := &Network{scoring: s.scoring, observers: s.observers, dynamics: s.dynamics}
 	cfg := core.Config{
-		Method:  s.scoring.method(),
-		Params:  params,
-		Table:   table,
-		Latency: lat,
-		Forward: forward,
-		Power:   power,
-		Rand:    root.Derive("engine"),
-		Workers: s.workers,
+		Method:   s.scoring.method(),
+		Params:   params,
+		Selector: coreSel,
+		Table:    table,
+		Latency:  lat,
+		Forward:  forward,
+		Power:    power,
+		Rand:     root.Derive("engine"),
+		Workers:  s.workers,
 	}
 	if len(s.observers) > 0 {
 		cfg.Observer = &observerBridge{net: net}

@@ -28,6 +28,20 @@
 // Every unset option takes the paper's evaluation default, and equal seeds
 // reproduce runs bit-for-bit at any Workers count.
 //
+// # Selectors
+//
+// The decision loop itself — which neighbors to keep, which to drop, how
+// many fresh links to dial — is the Selector interface: per-neighbor
+// block-arrival observations in, keep/drop/dial decisions out. The
+// paper's three scoring rules and the random baseline are built-in
+// values (SubsetSelector, VanillaSelector, UCBSelector, RandomSelector),
+// WithScoring is thin sugar over them, and WithSelector accepts any
+// custom implementation. The same Selector value also drives a live TCP
+// node through the perigee/node package, which mirrors this package's
+// options (node.WithSelector, node.WithObserver, ...) and emits the same
+// RoundStats telemetry — one policy and one observer pipeline for both
+// environments, so strategies validated in simulation deploy unchanged.
+//
 // # Scenarios
 //
 // The reproductions of the paper's figures, the §6 extension studies, and
@@ -43,8 +57,8 @@
 // carries a zero-value ambiguity the options API does not have (see
 // ExploreNone); new code should prefer New with options.
 //
-// The live TCP implementation lives in internal/p2p and is driven by the
-// cmd/perigee-node and cmd/perigee-cluster binaries.
+// The live TCP implementation is the public perigee/node package, driven
+// by the cmd/perigee-node and cmd/perigee-cluster binaries.
 package perigee
 
 import (
