@@ -14,13 +14,12 @@ import (
 	"testing"
 	"time"
 
+	"github.com/perigee-net/perigee/internal/bench"
 	"github.com/perigee-net/perigee/internal/core"
 	"github.com/perigee-net/perigee/internal/experiments"
 	"github.com/perigee-net/perigee/internal/geo"
 	"github.com/perigee-net/perigee/internal/latency"
-	"github.com/perigee-net/perigee/internal/netsim"
 	"github.com/perigee-net/perigee/internal/rng"
-	"github.com/perigee-net/perigee/internal/stats"
 	"github.com/perigee-net/perigee/internal/topology"
 )
 
@@ -148,149 +147,38 @@ func BenchmarkExtensionConvergence(b *testing.B) {
 }
 
 // --- Micro-benchmarks of the hot paths -----------------------------------
-
-// benchNetwork builds a 1000-node random-topology simulator.
-func benchNetwork(b *testing.B) (*netsim.Simulator, []float64) {
-	b.Helper()
-	root := rng.New(1)
-	u, err := geo.SampleUniverse(1000, root.Derive("universe"))
-	if err != nil {
-		b.Fatal(err)
-	}
-	lat, err := latency.NewGeographic(u, root.Derive("latency"))
-	if err != nil {
-		b.Fatal(err)
-	}
-	tbl, err := topology.Random(1000, 8, 20, root.Derive("topology"))
-	if err != nil {
-		b.Fatal(err)
-	}
-	forward := make([]time.Duration, 1000)
-	for i := range forward {
-		forward[i] = 50 * time.Millisecond
-	}
-	sim, err := netsim.New(netsim.Config{Adj: tbl.Undirected(), Latency: lat, Forward: forward})
-	if err != nil {
-		b.Fatal(err)
-	}
-	power := make([]float64, 1000)
-	for i := range power {
-		power[i] = 1.0 / 1000
-	}
-	return sim, power
-}
+//
+// The micro suite is defined once in internal/bench, shared with
+// cmd/perigee-bench (which runs the same cases and emits BENCH_*.json).
+// The wrappers below keep the stable `-bench=Micro` go-test entry points.
 
 // BenchmarkMicroBroadcast1000 measures one event-driven block broadcast
-// over a 1000-node network (the inner loop of every experiment).
-func BenchmarkMicroBroadcast1000(b *testing.B) {
-	sim, _ := benchNetwork(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := sim.Broadcast(i % 1000); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+// over a 1000-node network (the inner loop of every experiment). The CI
+// benchmark job fails if this reports any steady-state allocations.
+func BenchmarkMicroBroadcast1000(b *testing.B) { bench.MicroBroadcast(1000)(b) }
 
-// BenchmarkMicroAnalyticArrival1000 measures the Dijkstra-based arrival
-// computation used by the λ_v metric.
-func BenchmarkMicroAnalyticArrival1000(b *testing.B) {
-	sim, _ := benchNetwork(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := sim.ArrivalAnalytic(i % 1000); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+// BenchmarkMicroBroadcast10000 is the production-scale target: one
+// broadcast over a 10k-node network (the scale OverChain-style overlay
+// evaluations run at).
+func BenchmarkMicroBroadcast10000(b *testing.B) { bench.MicroBroadcast(10000)(b) }
+
+// BenchmarkMicroAnalyticArrival1000 measures the pooled Dijkstra-based
+// arrival computation used by the λ_v metric.
+func BenchmarkMicroAnalyticArrival1000(b *testing.B) { bench.MicroAnalyticArrival(1000)(b) }
 
 // BenchmarkMicroDelayToFraction measures the weighted coverage metric.
-func BenchmarkMicroDelayToFraction(b *testing.B) {
-	sim, power := benchNetwork(b)
-	arrival, err := sim.ArrivalAnalytic(0)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := netsim.DelayToFraction(arrival, power, 0.9); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// benchObservations builds a 100-block, 8-neighbor observation matrix.
-func benchObservations() core.Observations {
-	obs := core.NewObservations([]int{0, 1, 2, 3, 4, 5, 6, 7}, 100)
-	r := rng.New(2)
-	for bi := range obs.Offsets {
-		for ni := range obs.Offsets[bi] {
-			obs.Offsets[bi][ni] = time.Duration(r.IntN(200)) * time.Millisecond
-		}
-	}
-	return obs
-}
+func BenchmarkMicroDelayToFraction(b *testing.B) { bench.MicroDelayToFraction(b) }
 
 // BenchmarkMicroVanillaScoring measures independent percentile scoring of
 // one node's round (100 blocks, 8 neighbors).
-func BenchmarkMicroVanillaScoring(b *testing.B) {
-	obs := benchObservations()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		core.VanillaScores(obs, 0.9)
-	}
-}
+func BenchmarkMicroVanillaScoring(b *testing.B) { bench.MicroVanillaScoring(b) }
 
 // BenchmarkMicroSubsetScoring measures the greedy joint selection (§4.3).
-func BenchmarkMicroSubsetScoring(b *testing.B) {
-	obs := benchObservations()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		core.SubsetSelect(obs, 6, 0.9)
-	}
-}
+func BenchmarkMicroSubsetScoring(b *testing.B) { bench.MicroSubsetScoring(b) }
 
 // BenchmarkMicroEngineRound measures one full protocol round (broadcasts +
 // scoring + reconnection) on a 300-node network.
-func BenchmarkMicroEngineRound(b *testing.B) {
-	root := rng.New(3)
-	u, err := geo.SampleUniverse(300, root.Derive("universe"))
-	if err != nil {
-		b.Fatal(err)
-	}
-	lat, err := latency.NewGeographic(u, root.Derive("latency"))
-	if err != nil {
-		b.Fatal(err)
-	}
-	tbl, err := topology.Random(300, 8, 20, root.Derive("topology"))
-	if err != nil {
-		b.Fatal(err)
-	}
-	forward := make([]time.Duration, 300)
-	for i := range forward {
-		forward[i] = 50 * time.Millisecond
-	}
-	power := make([]float64, 300)
-	for i := range power {
-		power[i] = 1.0 / 300
-	}
-	params := core.DefaultParams(core.Subset)
-	params.RoundBlocks = 50
-	engine, err := core.NewEngine(core.Config{
-		Method: core.Subset, Params: params, Table: tbl,
-		Latency: lat, Forward: forward, Power: power,
-		Rand: root.Derive("engine"),
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := engine.Step(); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkMicroEngineRound(b *testing.B) { bench.MicroEngineRound(b) }
 
 // benchEngine builds a Subset engine at the given scale and worker count.
 func benchEngine(b *testing.B, n, workers int) *core.Engine {
@@ -356,15 +244,4 @@ func BenchmarkEngineRoundParallel(b *testing.B) {
 
 // BenchmarkMicroDurationPercentile measures the censored percentile
 // primitive underlying all scoring.
-func BenchmarkMicroDurationPercentile(b *testing.B) {
-	r := rng.New(4)
-	ds := make([]time.Duration, 100)
-	for i := range ds {
-		ds[i] = time.Duration(r.IntN(1000)) * time.Millisecond
-	}
-	ds[7] = stats.InfDuration
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		stats.DurationPercentile(ds, 0.9)
-	}
-}
+func BenchmarkMicroDurationPercentile(b *testing.B) { bench.MicroDurationPercentile(b) }

@@ -1,0 +1,120 @@
+// Command perigee-bench runs the repository's hot-path micro-benchmark
+// suite (internal/bench, the same cases `go test -bench=Micro` runs) and
+// writes a machine-readable JSON report, so the repo's performance
+// trajectory is recorded alongside the code instead of in commit messages.
+//
+// The report has two sections: "results" is always replaced by the current
+// run; "baseline" is preserved from an existing output file (or seeded
+// from the current run with -set-baseline), which is how a PR commits its
+// pre-change numbers next to its post-change ones.
+//
+// Usage:
+//
+//	perigee-bench [-out BENCH_PR4.json] [-filter Broadcast] [-set-baseline] [-list]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"github.com/perigee-net/perigee/internal/bench"
+)
+
+// CaseResult is one benchmark's measurement.
+type CaseResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Note carries free-form context (e.g. which commit a baseline was
+	// measured at); it is preserved, never generated.
+	Note string `json:"note,omitempty"`
+}
+
+// Report is the JSON document perigee-bench reads and writes.
+type Report struct {
+	GoOS       string `json:"goos"`
+	GoArch     string `json:"goarch"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// Baseline holds the pre-change numbers a PR measures before touching
+	// the hot path; see -set-baseline.
+	Baseline []CaseResult `json:"baseline,omitempty"`
+	Results  []CaseResult `json:"results"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR4.json", "output JSON path; an existing file's baseline section is preserved")
+	filter := flag.String("filter", "", "only run cases whose name contains this substring")
+	setBaseline := flag.Bool("set-baseline", false, "store this run as the baseline section too (first run of a PR)")
+	list := flag.Bool("list", false, "list case names and exit")
+	flag.Parse()
+
+	cases := bench.MicroCases()
+	if *list {
+		for _, c := range cases {
+			fmt.Println(c.Name)
+		}
+		return
+	}
+
+	report := Report{
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	if prev, err := os.ReadFile(*out); err == nil {
+		var old Report
+		if err := json.Unmarshal(prev, &old); err != nil {
+			fmt.Fprintf(os.Stderr, "perigee-bench: existing %s is not a bench report: %v\n", *out, err)
+			os.Exit(1)
+		}
+		report.Baseline = old.Baseline
+	}
+
+	for _, c := range cases {
+		if *filter != "" && !strings.Contains(c.Name, *filter) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %s...\n", c.Name)
+		r := testing.Benchmark(c.F)
+		if r.N == 0 {
+			fmt.Fprintf(os.Stderr, "perigee-bench: %s failed (zero iterations)\n", c.Name)
+			os.Exit(1)
+		}
+		res := CaseResult{
+			Name:        c.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		fmt.Fprintf(os.Stderr, "  %s: %.0f ns/op, %d allocs/op, %d B/op (n=%d)\n",
+			c.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp, res.Iterations)
+		report.Results = append(report.Results, res)
+	}
+	if len(report.Results) == 0 {
+		fmt.Fprintf(os.Stderr, "perigee-bench: no cases match filter %q\n", *filter)
+		os.Exit(1)
+	}
+	if *setBaseline {
+		report.Baseline = report.Results
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perigee-bench: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "perigee-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d cases)\n", *out, len(report.Results))
+}

@@ -1,0 +1,220 @@
+// Package bench defines the repository's hot-path micro-benchmark suite in
+// one place, shared by the root bench_test.go (go test -bench=Micro) and
+// cmd/perigee-bench, which runs the same cases through testing.Benchmark
+// and emits a machine-readable BENCH_*.json so the repo's performance
+// trajectory is recorded per PR instead of living in commit messages.
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"github.com/perigee-net/perigee/internal/core"
+	"github.com/perigee-net/perigee/internal/geo"
+	"github.com/perigee-net/perigee/internal/latency"
+	"github.com/perigee-net/perigee/internal/netsim"
+	"github.com/perigee-net/perigee/internal/rng"
+	"github.com/perigee-net/perigee/internal/stats"
+	"github.com/perigee-net/perigee/internal/topology"
+)
+
+// Case is one named micro-benchmark.
+type Case struct {
+	// Name matches the Benchmark function suffix in bench_test.go
+	// (e.g. "MicroBroadcast1000").
+	Name string
+	// F is the benchmark body, runnable under go test or testing.Benchmark.
+	F func(b *testing.B)
+}
+
+// MicroCases returns the full micro suite in a stable order.
+func MicroCases() []Case {
+	return []Case{
+		{"MicroBroadcast1000", MicroBroadcast(1000)},
+		{"MicroBroadcast10000", MicroBroadcast(10000)},
+		{"MicroAnalyticArrival1000", MicroAnalyticArrival(1000)},
+		{"MicroDelayToFraction", MicroDelayToFraction},
+		{"MicroVanillaScoring", MicroVanillaScoring},
+		{"MicroSubsetScoring", MicroSubsetScoring},
+		{"MicroEngineRound", MicroEngineRound},
+		{"MicroDurationPercentile", MicroDurationPercentile},
+	}
+}
+
+// Network builds an n-node random-topology simulator plus a uniform power
+// vector, the standard micro-bench network.
+func Network(b *testing.B, n int) (*netsim.Simulator, []float64) {
+	b.Helper()
+	root := rng.New(1)
+	u, err := geo.SampleUniverse(n, root.Derive("universe"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	lat, err := latency.NewGeographic(u, root.Derive("latency"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl, err := topology.Random(n, 8, 20, root.Derive("topology"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	forward := make([]time.Duration, n)
+	for i := range forward {
+		forward[i] = 50 * time.Millisecond
+	}
+	sim, err := netsim.New(netsim.Config{Adj: tbl.Undirected(), Latency: lat, Forward: forward})
+	if err != nil {
+		b.Fatal(err)
+	}
+	power := make([]float64, n)
+	for i := range power {
+		power[i] = 1.0 / float64(n)
+	}
+	return sim, power
+}
+
+// MicroBroadcast measures one event-driven block broadcast over an n-node
+// network (the inner loop of every experiment). The scratch is warmed
+// before the timer starts, so allocs/op reports the steady state — the CSR
+// hot path's contract is zero.
+func MicroBroadcast(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		sim, _ := Network(b, n)
+		for src := 0; src < 3; src++ {
+			if _, err := sim.Broadcast(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Broadcast(i % n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// MicroAnalyticArrival measures the pooled Dijkstra-based arrival
+// computation used by the λ_v metric.
+func MicroAnalyticArrival(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		sim, _ := Network(b, n)
+		buf, err := sim.ArrivalAnalyticInto(nil, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if buf, err = sim.ArrivalAnalyticInto(buf, i%n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// MicroDelayToFraction measures the weighted coverage metric.
+func MicroDelayToFraction(b *testing.B) {
+	sim, power := Network(b, 1000)
+	arrival, err := sim.ArrivalAnalytic(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := netsim.DelayToFraction(arrival, power, 0.9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Observations builds a 100-block, 8-neighbor observation matrix.
+func Observations() core.Observations {
+	obs := core.NewObservations([]int{0, 1, 2, 3, 4, 5, 6, 7}, 100)
+	r := rng.New(2)
+	for bi := range obs.Offsets {
+		for ni := range obs.Offsets[bi] {
+			obs.Offsets[bi][ni] = time.Duration(r.IntN(200)) * time.Millisecond
+		}
+	}
+	return obs
+}
+
+// MicroVanillaScoring measures independent percentile scoring of one
+// node's round (100 blocks, 8 neighbors).
+func MicroVanillaScoring(b *testing.B) {
+	obs := Observations()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.VanillaScores(obs, 0.9)
+	}
+}
+
+// MicroSubsetScoring measures the greedy joint selection (§4.3).
+func MicroSubsetScoring(b *testing.B) {
+	obs := Observations()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.SubsetSelect(obs, 6, 0.9)
+	}
+}
+
+// MicroEngineRound measures one full protocol round (broadcasts + scoring
+// + reconnection) on a 300-node network.
+func MicroEngineRound(b *testing.B) {
+	root := rng.New(3)
+	u, err := geo.SampleUniverse(300, root.Derive("universe"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	lat, err := latency.NewGeographic(u, root.Derive("latency"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl, err := topology.Random(300, 8, 20, root.Derive("topology"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	forward := make([]time.Duration, 300)
+	for i := range forward {
+		forward[i] = 50 * time.Millisecond
+	}
+	power := make([]float64, 300)
+	for i := range power {
+		power[i] = 1.0 / 300
+	}
+	params := core.DefaultParams(core.Subset)
+	params.RoundBlocks = 50
+	engine, err := core.NewEngine(core.Config{
+		Method: core.Subset, Params: params, Table: tbl,
+		Latency: lat, Forward: forward, Power: power,
+		Rand: root.Derive("engine"),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// MicroDurationPercentile measures the censored percentile primitive
+// underlying all scoring.
+func MicroDurationPercentile(b *testing.B) {
+	r := rng.New(4)
+	ds := make([]time.Duration, 100)
+	for i := range ds {
+		ds[i] = time.Duration(r.IntN(1000)) * time.Millisecond
+	}
+	ds[7] = stats.InfDuration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.DurationPercentile(ds, 0.9)
+	}
+}

@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"time"
 
 	"github.com/perigee-net/perigee/internal/hashpower"
@@ -157,6 +156,29 @@ type Engine struct {
 	dynamics Dynamics
 
 	round int
+
+	// scratch is the reusable round context: the cached simulator plus all
+	// per-round tables, resized instead of reallocated every Step.
+	scratch roundScratch
+}
+
+// roundScratch holds the engine's reusable round state. The simulator is
+// built once through netsim's prevalidated path (the engine constructs
+// symmetric sorted adjacencies by construction) and reconfigured in place
+// whenever the connection table's version moves; the observation matrices,
+// outgoing/slot tables, per-worker Broadcasters, source slice, and
+// per-worker arrival buffers all keep their backing arrays across rounds.
+type roundScratch struct {
+	sim        *netsim.Simulator
+	simVersion uint64
+	adj        [][]int
+	bcs        []*netsim.Broadcaster
+	outs       [][]int
+	slot       [][]int
+	obs        []Observations
+	sources    []int
+	decisions  []Decision
+	arrivals   [][]time.Duration
 }
 
 // RoundReport summarizes one protocol round.
@@ -328,14 +350,60 @@ func (e *Engine) workerCount(items int) int {
 	return w
 }
 
-func (e *Engine) newSimulator() (*netsim.Simulator, error) {
-	return netsim.New(netsim.Config{
-		Adj:          e.Adjacency(),
-		Latency:      e.lat,
-		Forward:      e.forward,
-		SendInterval: e.sendInterval,
-		Silent:       e.silent,
-	})
+// ensureSim returns the engine's cached simulator, rebuilding its CSR
+// topology in place when the connection table has changed since the last
+// call. The engine's adjacency is symmetric and sorted by construction, so
+// the simulator is built through netsim's prevalidated path, skipping the
+// per-row validation sweep every round.
+func (e *Engine) ensureSim() (*netsim.Simulator, error) {
+	rs := &e.scratch
+	ver := e.table.Version()
+	if rs.sim != nil && rs.simVersion == ver {
+		return rs.sim, nil
+	}
+	rs.adj = e.table.UndirectedInto(rs.adj)
+	adj := rs.adj
+	if len(e.pinned) > 0 {
+		adj = topology.MergeAdjacency(adj, e.pinned)
+	}
+	if rs.sim == nil {
+		sim, err := netsim.NewPrevalidated(netsim.Config{
+			Adj:          adj,
+			Latency:      e.lat,
+			Forward:      e.forward,
+			SendInterval: e.sendInterval,
+			Silent:       e.silent,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rs.sim = sim
+	} else if err := rs.sim.Reconfigure(adj); err != nil {
+		return nil, err
+	}
+	rs.simVersion = ver
+	return rs.sim, nil
+}
+
+// broadcasters returns at least `workers` per-worker broadcast contexts
+// over the cached simulator, growing the pool on first use and reusing it
+// (scratch included) across rounds.
+func (e *Engine) broadcasters(sim *netsim.Simulator, workers int) []*netsim.Broadcaster {
+	rs := &e.scratch
+	for len(rs.bcs) < workers {
+		rs.bcs = append(rs.bcs, sim.NewBroadcaster())
+	}
+	return rs.bcs[:workers]
+}
+
+// arrivalBuffers returns `workers` reusable arrival vectors for the
+// analytic λ evaluation.
+func (e *Engine) arrivalBuffers(workers int) [][]time.Duration {
+	rs := &e.scratch
+	for len(rs.arrivals) < workers {
+		rs.arrivals = append(rs.arrivals, nil)
+	}
+	return rs.arrivals[:workers]
 }
 
 // Step runs one full protocol round: broadcast RoundBlocks blocks, collect
@@ -350,43 +418,56 @@ func (e *Engine) newSimulator() (*netsim.Simulator, error) {
 // scoring input independent of worker scheduling.
 func (e *Engine) Step() (RoundReport, error) {
 	n := e.table.N()
-	sim, err := e.newSimulator()
+	sim, err := e.ensureSim()
 	if err != nil {
 		return RoundReport{}, err
 	}
-	adj := sim.Adj()
+	rs := &e.scratch
 
 	// Snapshot outgoing sets and locate each outgoing neighbor's slot in
-	// the (sorted) adjacency rows.
-	outs := make([][]int, n)
-	slot := make([][]int, n)
+	// the (sorted) adjacency rows: outs[v] and the row are both ascending,
+	// so a merged walk finds every slot in one pass.
+	if cap(rs.outs) < n {
+		rs.outs = make([][]int, n)
+		rs.slot = make([][]int, n)
+		rs.obs = make([]Observations, n)
+	}
+	outs, slot, obs := rs.outs[:n], rs.slot[:n], rs.obs[:n]
+	rs.outs, rs.slot, rs.obs = outs, slot, obs
 	for v := 0; v < n; v++ {
-		outs[v] = e.table.OutNeighbors(v)
-		slot[v] = make([]int, len(outs[v]))
+		outs[v] = e.table.AppendOutNeighbors(outs[v][:0], v)
+		row := sim.Row(v)
+		if cap(slot[v]) < len(outs[v]) {
+			slot[v] = make([]int, len(outs[v]))
+		}
+		slot[v] = slot[v][:len(outs[v])]
+		k := 0
 		for i, u := range outs[v] {
-			k := sort.SearchInts(adj[v], u)
-			if k >= len(adj[v]) || adj[v][k] != u {
+			for k < len(row) && int(row[k]) != u {
+				k++
+			}
+			if k == len(row) {
 				return RoundReport{}, fmt.Errorf("core: internal: outgoing neighbor %d of %d missing from adjacency", u, v)
 			}
 			slot[v][i] = k
 		}
 	}
-	obs := make([]Observations, n)
 	for v := 0; v < n; v++ {
-		obs[v] = NewObservations(outs[v], e.params.RoundBlocks)
+		obs[v].Reset(outs[v], e.params.RoundBlocks)
 	}
 
 	// Broadcast phase. All RNG draws happen up front, on the single engine
 	// stream, in block order.
-	sources := make([]int, e.params.RoundBlocks)
+	if cap(rs.sources) < e.params.RoundBlocks {
+		rs.sources = make([]int, e.params.RoundBlocks)
+	}
+	sources := rs.sources[:e.params.RoundBlocks]
+	rs.sources = sources
 	for b := range sources {
 		sources[b] = e.sampler.Sample(e.rand)
 	}
 	workers := e.workerCount(len(sources))
-	bcs := make([]*netsim.Broadcaster, workers)
-	for w := range bcs {
-		bcs[w] = sim.NewBroadcaster()
-	}
+	bcs := e.broadcasters(sim, workers)
 	err = parallel.ForEachIndexed(len(sources), workers, func(worker, b int) error {
 		res, err := bcs[worker].Broadcast(sources[b])
 		if err != nil {
@@ -453,7 +534,14 @@ func (e *Engine) Step() (RoundReport, error) {
 func (e *Engine) update(obs []Observations, ev *RoundEvent) (RoundReport, error) {
 	n := e.table.N()
 	var report RoundReport
-	decisions := make([]Decision, n)
+	if cap(e.scratch.decisions) < n {
+		e.scratch.decisions = make([]Decision, n)
+	}
+	decisions := e.scratch.decisions[:n]
+	e.scratch.decisions = decisions
+	for i := range decisions {
+		decisions[i] = Decision{}
+	}
 	roundRand := e.selRand.DeriveIndexed("round", e.round+1)
 	err := parallel.ForEachIndexed(n, e.workerCount(n), func(_, v int) error {
 		if e.frozen != nil && e.frozen[v] {
@@ -555,7 +643,7 @@ func (e *Engine) Run(rounds int) (RoundReport, error) {
 // engine's worker pool; the output is indexed by source, so it is
 // independent of worker count.
 func (e *Engine) Delays(frac float64, sources []int) ([]time.Duration, error) {
-	sim, err := e.newSimulator()
+	sim, err := e.ensureSim()
 	if err != nil {
 		return nil, err
 	}
@@ -563,10 +651,10 @@ func (e *Engine) Delays(frac float64, sources []int) ([]time.Duration, error) {
 		sources = allNodes(e.table.N())
 	}
 	workers := e.workerCount(len(sources))
-	bcs := e.newBroadcasters(sim, workers)
+	e.prepareArrival(sim, workers)
 	out := make([]time.Duration, len(sources))
 	err = parallel.ForEachIndexed(len(sources), workers, func(worker, i int) error {
-		arrival, err := e.arrivalFor(sim, bcs, worker, sources[i])
+		arrival, err := e.arrivalFor(sim, worker, sources[i])
 		if err != nil {
 			return err
 		}
@@ -587,25 +675,32 @@ func allNodes(n int) []int {
 	return out
 }
 
-// newBroadcasters prepares per-worker broadcast contexts when the event
-// simulation is needed (serialized uploads); the analytic pass is stateless
-// and needs none.
-func (e *Engine) newBroadcasters(sim *netsim.Simulator, workers int) []*netsim.Broadcaster {
+// prepareArrival sizes the per-worker scratch arrivalFor draws on: arrival
+// buffers for the analytic pass, or Broadcasters when uploads are
+// serialized.
+func (e *Engine) prepareArrival(sim *netsim.Simulator, workers int) {
 	if e.sendInterval == nil {
-		return nil
+		e.arrivalBuffers(workers)
+		return
 	}
-	bcs := make([]*netsim.Broadcaster, workers)
-	for w := range bcs {
-		bcs[w] = sim.NewBroadcaster()
-	}
-	return bcs
+	e.broadcasters(sim, workers)
 }
 
-func (e *Engine) arrivalFor(sim *netsim.Simulator, bcs []*netsim.Broadcaster, worker, src int) ([]time.Duration, error) {
-	if bcs == nil {
-		return sim.ArrivalAnalytic(src)
+// arrivalFor computes the arrival vector of one source on the shared
+// simulator: the pooled analytic pass into a reusable per-worker buffer, or
+// the event simulation through the per-worker Broadcaster when uploads are
+// serialized. The returned slice is per-worker scratch, valid until the
+// worker's next call.
+func (e *Engine) arrivalFor(sim *netsim.Simulator, worker, src int) ([]time.Duration, error) {
+	if e.sendInterval == nil {
+		arrival, err := sim.ArrivalAnalyticInto(e.scratch.arrivals[worker], src)
+		if err != nil {
+			return nil, err
+		}
+		e.scratch.arrivals[worker] = arrival
+		return arrival, nil
 	}
-	res, err := bcs[worker].Broadcast(src)
+	res, err := e.scratch.bcs[worker].Broadcast(src)
 	if err != nil {
 		return nil, err
 	}
@@ -620,7 +715,7 @@ func (e *Engine) arrivalFor(sim *netsim.Simulator, bcs []*netsim.Broadcaster, wo
 // worker order (duration addition is exact integer math, so the merge is
 // independent of scheduling).
 func (e *Engine) ReceiveDelays(sources []int) ([]time.Duration, error) {
-	sim, err := e.newSimulator()
+	sim, err := e.ensureSim()
 	if err != nil {
 		return nil, err
 	}
@@ -629,7 +724,7 @@ func (e *Engine) ReceiveDelays(sources []int) ([]time.Duration, error) {
 	}
 	n := e.table.N()
 	workers := e.workerCount(len(sources))
-	bcs := e.newBroadcasters(sim, workers)
+	e.prepareArrival(sim, workers)
 	partialSums := make([][]time.Duration, workers)
 	partialCensored := make([][]bool, workers)
 	for w := 0; w < workers; w++ {
@@ -637,7 +732,7 @@ func (e *Engine) ReceiveDelays(sources []int) ([]time.Duration, error) {
 		partialCensored[w] = make([]bool, n)
 	}
 	err = parallel.ForEachIndexed(len(sources), workers, func(worker, i int) error {
-		arrival, err := e.arrivalFor(sim, bcs, worker, sources[i])
+		arrival, err := e.arrivalFor(sim, worker, sources[i])
 		if err != nil {
 			return err
 		}

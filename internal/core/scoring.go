@@ -57,20 +57,42 @@ type Observations struct {
 	Neighbors []int
 	// Offsets[b][i] is the offset of block b from neighbor Neighbors[i].
 	Offsets [][]time.Duration
+
+	// backing is the flat buffer the Offsets rows alias, retained so Reset
+	// can rebuild the matrix without reallocating.
+	backing []time.Duration
 }
 
 // NewObservations allocates an observation set for the given neighbors and
 // block count, initialized to "never delivered".
 func NewObservations(neighbors []int, blocks int) Observations {
-	offsets := make([][]time.Duration, blocks)
-	backing := make([]time.Duration, blocks*len(neighbors))
-	for i := range backing {
-		backing[i] = stats.InfDuration
+	var o Observations
+	o.Reset(neighbors, blocks)
+	return o
+}
+
+// Reset reinitializes o in place for a new round — neighbor snapshot
+// copied, every offset back to "never delivered" — reusing the backing
+// buffers when their capacity suffices. The engine calls this once per
+// node per round, so a steady-state round allocates no observation memory.
+func (o *Observations) Reset(neighbors []int, blocks int) {
+	o.Neighbors = append(o.Neighbors[:0], neighbors...)
+	k := len(neighbors)
+	need := blocks * k
+	if cap(o.backing) < need {
+		o.backing = make([]time.Duration, need)
 	}
-	for b := range offsets {
-		offsets[b] = backing[b*len(neighbors) : (b+1)*len(neighbors) : (b+1)*len(neighbors)]
+	o.backing = o.backing[:need]
+	for i := range o.backing {
+		o.backing[i] = stats.InfDuration
 	}
-	return Observations{Neighbors: append([]int(nil), neighbors...), Offsets: offsets}
+	if cap(o.Offsets) < blocks {
+		o.Offsets = make([][]time.Duration, blocks)
+	}
+	o.Offsets = o.Offsets[:blocks]
+	for b := range o.Offsets {
+		o.Offsets[b] = o.backing[b*k : (b+1)*k : (b+1)*k]
+	}
 }
 
 // column extracts neighbor i's offsets across all blocks.

@@ -106,17 +106,9 @@ func Convergence(opt Options) (*Result, error) {
 }
 
 // evalTopologyAtFraction is evalTopology with an explicit coverage
-// fraction.
+// fraction, sharing the env's reusable evaluation simulator.
 func evalTopologyAtFraction(e *env, tbl *topology.Table, frac float64) ([]float64, error) {
-	engine, err := newExtensionEngine(e, core.Subset, tbl, nil, nil)
-	if err != nil {
-		return nil, err
-	}
-	delays, err := engine.Delays(frac, nil)
-	if err != nil {
-		return nil, err
-	}
-	return delaysToSortedMs(delays), nil
+	return e.evalTopologyAt(tbl, frac)
 }
 
 // monotoneViolations counts indices where the series increases (a strictly

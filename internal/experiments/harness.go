@@ -202,6 +202,17 @@ type env struct {
 	root     *rng.RNG
 	pinned   [][2]int
 	frozen   []bool
+
+	// evalSim is the trial's reusable evaluation simulator: built once via
+	// netsim's prevalidated path and reconfigured in place when a different
+	// (or mutated) table is evaluated. evalVer/evalTbl identify the
+	// adjacency it currently reflects; evalAdj and evalArr are the reused
+	// adjacency snapshot and per-worker arrival buffers.
+	evalSim *netsim.Simulator
+	evalTbl *topology.Table
+	evalVer uint64
+	evalAdj [][]int
+	evalArr [][]time.Duration
 }
 
 // newEnv samples a trial environment: universe, per-trial link latencies,
@@ -274,23 +285,64 @@ func delaysToSortedMs(ds []time.Duration) []float64 {
 	return out
 }
 
+// simFor returns the env's reusable evaluation simulator positioned on
+// tbl's current adjacency (plus the env's pinned edges). The table snapshot
+// is rebuilt through netsim's prevalidated path — Table.Undirected output
+// is symmetric and sorted by construction — and the simulator's CSR arrays
+// are reconfigured in place, so evaluating the same unchanged table twice
+// (or a table that evolves between evaluation passes, as the convergence
+// experiment does every round) reuses one simulator for the whole trial.
+func (e *env) simFor(tbl *topology.Table) (*netsim.Simulator, error) {
+	ver := tbl.Version()
+	if e.evalSim != nil && e.evalTbl == tbl && e.evalVer == ver {
+		return e.evalSim, nil
+	}
+	e.evalAdj = tbl.UndirectedInto(e.evalAdj)
+	adj := e.evalAdj
+	if len(e.pinned) > 0 {
+		adj = topology.MergeAdjacency(adj, e.pinned)
+	}
+	if e.evalSim == nil {
+		sim, err := netsim.NewPrevalidated(netsim.Config{Adj: adj, Latency: e.lat, Forward: e.forward})
+		if err != nil {
+			return nil, err
+		}
+		e.evalSim = sim
+	} else if err := e.evalSim.Reconfigure(adj); err != nil {
+		return nil, err
+	}
+	e.evalTbl, e.evalVer = tbl, ver
+	return e.evalSim, nil
+}
+
 // evalTopology computes λ_v for every node over a static communication
 // graph (plus the env's pinned edges). Sources are evaluated on the worker
-// pool — the analytic pass is stateless, so the shared simulator needs no
-// per-worker context.
+// pool; the pooled analytic pass writes into per-worker arrival buffers.
 func (e *env) evalTopology(tbl *topology.Table) ([]float64, error) {
-	adj := topology.MergeAdjacency(tbl.Undirected(), e.pinned)
-	sim, err := netsim.New(netsim.Config{Adj: adj, Latency: e.lat, Forward: e.forward})
+	return e.evalTopologyAt(tbl, e.opt.Fraction)
+}
+
+// evalTopologyAt is evalTopology at an explicit coverage fraction.
+func (e *env) evalTopologyAt(tbl *topology.Table, frac float64) ([]float64, error) {
+	sim, err := e.simFor(tbl)
 	if err != nil {
 		return nil, err
 	}
+	workers := parallel.Workers(e.opt.Workers)
+	if workers > e.opt.Nodes {
+		workers = e.opt.Nodes
+	}
+	for len(e.evalArr) < workers {
+		e.evalArr = append(e.evalArr, nil)
+	}
 	delays := make([]time.Duration, e.opt.Nodes)
-	err = parallel.ForEachIndexed(e.opt.Nodes, e.opt.Workers, func(_, src int) error {
-		arrival, err := sim.ArrivalAnalytic(src)
+	err = parallel.ForEachIndexed(e.opt.Nodes, workers, func(worker, src int) error {
+		arrival, err := sim.ArrivalAnalyticInto(e.evalArr[worker], src)
 		if err != nil {
 			return err
 		}
-		delays[src], err = netsim.DelayToFraction(arrival, e.power, e.opt.Fraction)
+		e.evalArr[worker] = arrival
+		delays[src], err = netsim.DelayToFraction(arrival, e.power, frac)
 		return err
 	})
 	if err != nil {

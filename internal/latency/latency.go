@@ -31,6 +31,31 @@ type Model interface {
 	N() int
 }
 
+// PrecomputeEdges fills out[e] with Delay(v, edgeDst[e]) for every directed
+// edge of a CSR adjacency (rowStart[v] .. rowStart[v+1] are node v's
+// outgoing edges). Evaluating the model once per edge at topology-build
+// time turns every subsequent hop of the broadcast hot loop into a flat
+// array read instead of an interface call that recomputes embedded
+// distances and per-link jitter. out must have len(edgeDst) entries.
+func PrecomputeEdges(m Model, rowStart, edgeDst []int32, out []time.Duration) error {
+	if m == nil {
+		return fmt.Errorf("latency: nil model")
+	}
+	if len(rowStart) == 0 {
+		return fmt.Errorf("latency: empty CSR row index")
+	}
+	if len(out) != len(edgeDst) {
+		return fmt.Errorf("latency: delay buffer covers %d edges, want %d", len(out), len(edgeDst))
+	}
+	n := len(rowStart) - 1
+	for v := 0; v < n; v++ {
+		for e := rowStart[v]; e < rowStart[v+1]; e++ {
+			out[e] = m.Delay(v, int(edgeDst[e]))
+		}
+	}
+	return nil
+}
+
 // regionCenters places each region's hub in a 2-dimensional latency space
 // (coordinates in milliseconds of one-way delay). Pairwise center
 // distances approximate published inter-continental one-way latencies

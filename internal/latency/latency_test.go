@@ -316,3 +316,41 @@ func TestConstant(t *testing.T) {
 		t.Fatal("wrong constant delay")
 	}
 }
+
+func TestPrecomputeEdges(t *testing.T) {
+	u, err := geo.SampleUniverse(6, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGeographic(u, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CSR of the 6-cycle 0-1-2-3-4-5-0.
+	rowStart := []int32{0, 2, 4, 6, 8, 10, 12}
+	edgeDst := []int32{1, 5, 0, 2, 1, 3, 2, 4, 3, 5, 0, 4}
+	out := make([]time.Duration, len(edgeDst))
+	if err := PrecomputeEdges(g, rowStart, edgeDst, out); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 6; v++ {
+		for e := rowStart[v]; e < rowStart[v+1]; e++ {
+			if want := g.Delay(v, int(edgeDst[e])); out[e] != want {
+				t.Fatalf("edge (%d, %d): precomputed %v, model %v", v, edgeDst[e], out[e], want)
+			}
+		}
+	}
+}
+
+func TestPrecomputeEdgesErrors(t *testing.T) {
+	if err := PrecomputeEdges(nil, []int32{0}, nil, nil); err == nil {
+		t.Fatal("expected error for nil model")
+	}
+	c := Constant{Nodes: 2, D: time.Millisecond}
+	if err := PrecomputeEdges(c, nil, nil, nil); err == nil {
+		t.Fatal("expected error for empty row index")
+	}
+	if err := PrecomputeEdges(c, []int32{0, 1, 2}, []int32{1, 0}, make([]time.Duration, 1)); err == nil {
+		t.Fatal("expected error for short delay buffer")
+	}
+}

@@ -34,3 +34,77 @@ func TestDelayToFractionNoSteadyStateAllocs(t *testing.T) {
 		t.Fatalf("DelayToFraction allocates %.1f objects per call, want 0", allocs)
 	}
 }
+
+// TestBroadcastNoSteadyStateAllocs proves the CSR hot path is
+// allocation-free once the Broadcaster's scratch and delivery heap have
+// grown to the topology's high-water mark: no closures, no container/heap
+// boxing, no per-round rebuilds.
+func TestBroadcastNoSteadyStateAllocs(t *testing.T) {
+	sim := randomSim(t, 300, nil)
+	// Warm up: grow the delivery heap and scratch to their high-water mark
+	// (different sources flood different subtrees, so sweep a few).
+	for src := 0; src < 10; src++ {
+		if _, err := sim.Broadcast(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := sim.Broadcast(src); err != nil {
+			t.Fatal(err)
+		}
+		src = (src + 1) % sim.N()
+	})
+	if allocs > 0 {
+		t.Fatalf("Broadcast allocates %.1f objects per call at steady state, want 0", allocs)
+	}
+}
+
+// TestBroadcastSerializedNoSteadyStateAllocs covers the upload-serialization
+// variant of the hot path.
+func TestBroadcastSerializedNoSteadyStateAllocs(t *testing.T) {
+	intervals := make([]time.Duration, 300)
+	for i := range intervals {
+		intervals[i] = time.Duration(i%5) * time.Millisecond
+	}
+	sim := randomSim(t, 300, intervals)
+	for src := 0; src < 10; src++ {
+		if _, err := sim.Broadcast(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := sim.Broadcast(src); err != nil {
+			t.Fatal(err)
+		}
+		src = (src + 1) % sim.N()
+	})
+	if allocs > 0 {
+		t.Fatalf("serialized Broadcast allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// TestArrivalAnalyticIntoNoSteadyStateAllocs proves the pooled Dijkstra
+// pass allocates nothing once the heap pool and the caller's destination
+// buffer are warm.
+func TestArrivalAnalyticIntoNoSteadyStateAllocs(t *testing.T) {
+	sim := randomSim(t, 300, nil)
+	var buf []time.Duration
+	var err error
+	for src := 0; src < 10; src++ {
+		if buf, err = sim.ArrivalAnalyticInto(buf, src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		if buf, err = sim.ArrivalAnalyticInto(buf, src); err != nil {
+			t.Fatal(err)
+		}
+		src = (src + 1) % sim.N()
+	})
+	if allocs > 0 {
+		t.Fatalf("ArrivalAnalyticInto allocates %.1f objects per call at steady state, want 0", allocs)
+	}
+}

@@ -11,22 +11,40 @@
 //     v records, for each neighbor u, the local time t(u, v) at which u's
 //     copy arrived.
 //
-// Two equivalent computations are provided: an event-driven simulation on
-// the des engine (which also supports upload serialization) and an analytic
-// Dijkstra pass that produces only first-arrival times, used for fast
-// evaluation of the λ_v metric. Integration tests assert they agree.
+// # Flat topology layout
+//
+// The simulator stores the adjacency in CSR (compressed sparse row) form:
+// node v's directed edges are the contiguous range rowStart[v] ..
+// rowStart[v+1] of three flat arrays — edgeDst (the neighbor), edgeSlot
+// (the sender's position in the neighbor's own row, i.e. the precomputed
+// reverse index), and edgeDelay (the one-way latency δ, evaluated once per
+// edge at build time). The broadcast inner loop is therefore pure array
+// walks: forwarding a block pushes typed {time, node, slot} records onto a
+// des.DeliveryQueue, and delivering one is two array reads and two
+// compare-and-stores. Per-edge arrival times live in one flat buffer that
+// Result's per-node EdgeArrival rows alias, so resetting a broadcast is a
+// single linear fill. After a Broadcaster's buffers have grown to the
+// topology's size, a broadcast performs zero heap allocations
+// (alloc_test.go enforces this).
+//
+// Two equivalent computations are provided: the event-driven simulation
+// (which also supports upload serialization) and an analytic Dijkstra pass
+// over the same flat arrays that produces only first-arrival times, used
+// for fast evaluation of the λ_v metric. Integration tests assert they
+// agree, and typedsched_test.go asserts the typed delivery queue reproduces
+// the closure-based des.Scheduler bit-for-bit.
 package netsim
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/perigee-net/perigee/internal/des"
 	"github.com/perigee-net/perigee/internal/latency"
 	"github.com/perigee-net/perigee/internal/stats"
-	"github.com/perigee-net/perigee/internal/topology"
 )
 
 // Config describes one simulated network instance. The adjacency is the
@@ -54,73 +72,62 @@ type Config struct {
 	Silent []bool
 }
 
-// Simulator holds the immutable topology of one simulated network: the
-// validated adjacency, its reverse index, and the latency/forward/silent
-// tables. A Simulator carries no per-broadcast state, so a single instance
-// may be shared by any number of goroutines, each running broadcasts
-// through its own Broadcaster (see NewBroadcaster).
+// Simulator holds the immutable-between-reconfigurations topology of one
+// simulated network in CSR form (see the package comment) plus the
+// latency/forward/silent tables. A Simulator carries no per-broadcast
+// state, so a single instance may be shared by any number of goroutines,
+// each running broadcasts through its own Broadcaster (see NewBroadcaster).
+// Reconfigure, however, must not run concurrently with any use.
 type Simulator struct {
 	cfg Config
 	n   int
 
-	// revIndex[u][j] is the position of u in Adj[v]'s list where
-	// v = Adj[u][j]; it lets a sender record its announcement in the
-	// receiver's row without searching.
-	revIndex [][]int
+	// CSR topology: node v's directed edges occupy rowStart[v] ..
+	// rowStart[v+1] of the edge arrays.
+	rowStart  []int32
+	edgeDst   []int32
+	edgeSlot  []int32 // sender's position in edgeDst[e]'s row (reverse index)
+	edgeDelay []time.Duration
+	cursor    []int32 // rebuild's per-node sweep cursor, kept to avoid realloc
+
+	// gen counts Reconfigure calls; Broadcasters lazily resynchronize
+	// their scratch when they observe a new generation.
+	gen uint64
 
 	// base serves the convenience Broadcast method, created on first use
-	// (parallel callers go through NewBroadcaster and never pay for it);
-	// it makes a bare Simulator behave like the pre-Broadcaster API for
-	// single-goroutine callers.
-	base *Broadcaster
+	// (parallel callers go through NewBroadcaster and never pay for it).
+	// The once-guarded atomic pointer keeps a concurrent misuse of the
+	// documented single-goroutine convenience API from corrupting memory
+	// during initialization.
+	baseOnce sync.Once
+	base     atomic.Pointer[Broadcaster]
 }
 
-// Broadcaster owns the mutable per-broadcast state (event scheduler and
-// arrival scratch) for one goroutine's broadcasts over a shared Simulator.
-// A Broadcaster is not safe for concurrent use; create one per worker.
+// Broadcaster owns the mutable per-broadcast state (typed delivery queue
+// and arrival scratch) for one goroutine's broadcasts over a shared
+// Simulator. A Broadcaster is not safe for concurrent use; create one per
+// worker. Broadcasters survive Simulator.Reconfigure: they resize their
+// scratch on the next Broadcast.
 type Broadcaster struct {
 	sim   *Simulator
-	sched des.Scheduler
+	gen   uint64
+	queue des.DeliveryQueue
 
 	// Scratch buffers, reused across Broadcast calls; Result aliases them.
+	// edgeArrival's per-node rows alias the flat edgeFlat buffer through
+	// the simulator's rowStart index.
 	arrival     []time.Duration
+	edgeFlat    []time.Duration
 	edgeArrival [][]time.Duration
 }
 
 // New validates the config and builds a simulator. The adjacency must be
 // symmetric, self-loop free, ascending, and within range.
 func New(cfg Config) (*Simulator, error) {
+	if err := validateShape(cfg); err != nil {
+		return nil, err
+	}
 	n := len(cfg.Adj)
-	if n == 0 {
-		return nil, fmt.Errorf("netsim: empty adjacency")
-	}
-	if cfg.Latency == nil {
-		return nil, fmt.Errorf("netsim: nil latency model")
-	}
-	if cfg.Latency.N() < n {
-		return nil, fmt.Errorf("netsim: latency model covers %d nodes, topology has %d", cfg.Latency.N(), n)
-	}
-	if len(cfg.Forward) != n {
-		return nil, fmt.Errorf("netsim: forward delays cover %d nodes, want %d", len(cfg.Forward), n)
-	}
-	for v, d := range cfg.Forward {
-		if d < 0 {
-			return nil, fmt.Errorf("netsim: node %d has negative forward delay %v", v, d)
-		}
-	}
-	if cfg.SendInterval != nil {
-		if len(cfg.SendInterval) != n {
-			return nil, fmt.Errorf("netsim: send intervals cover %d nodes, want %d", len(cfg.SendInterval), n)
-		}
-		for v, d := range cfg.SendInterval {
-			if d < 0 {
-				return nil, fmt.Errorf("netsim: node %d has negative send interval %v", v, d)
-			}
-		}
-	}
-	if cfg.Silent != nil && len(cfg.Silent) != n {
-		return nil, fmt.Errorf("netsim: silent mask covers %d nodes, want %d", len(cfg.Silent), n)
-	}
 	for u, nbrs := range cfg.Adj {
 		if !sort.IntsAreSorted(nbrs) {
 			return nil, fmt.Errorf("netsim: adjacency of node %d is not ascending", u)
@@ -137,43 +144,184 @@ func New(cfg Config) (*Simulator, error) {
 			}
 		}
 	}
-	rev := make([][]int, n)
-	for u := 0; u < n; u++ {
-		rev[u] = make([]int, len(cfg.Adj[u]))
-		for j, v := range cfg.Adj[u] {
-			k := sort.SearchInts(cfg.Adj[v], u)
-			if k >= len(cfg.Adj[v]) || cfg.Adj[v][k] != u {
-				return nil, fmt.Errorf("netsim: adjacency not symmetric: %d lists %d but not vice versa", u, v)
-			}
-			rev[u][j] = k
+	return newFromValidShape(cfg)
+}
+
+// NewPrevalidated builds a simulator for callers that construct the
+// adjacency symmetric, sorted, and in range by construction (the engine's
+// connection table, MergeAdjacency output), skipping New's per-row
+// validation sweep. Symmetry is still verified as a free byproduct of the
+// reverse-index build; a genuinely malformed adjacency is reported, not
+// silently accepted.
+func NewPrevalidated(cfg Config) (*Simulator, error) {
+	if err := validateShape(cfg); err != nil {
+		return nil, err
+	}
+	return newFromValidShape(cfg)
+}
+
+func newFromValidShape(cfg Config) (*Simulator, error) {
+	s := &Simulator{cfg: cfg, n: len(cfg.Adj)}
+	if err := s.rebuild(cfg.Adj); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// validateShape checks everything that is O(n) and independent of the edge
+// structure: table lengths, non-negative delays, model coverage.
+func validateShape(cfg Config) error {
+	n := len(cfg.Adj)
+	if n == 0 {
+		return fmt.Errorf("netsim: empty adjacency")
+	}
+	if cfg.Latency == nil {
+		return fmt.Errorf("netsim: nil latency model")
+	}
+	if cfg.Latency.N() < n {
+		return fmt.Errorf("netsim: latency model covers %d nodes, topology has %d", cfg.Latency.N(), n)
+	}
+	if len(cfg.Forward) != n {
+		return fmt.Errorf("netsim: forward delays cover %d nodes, want %d", len(cfg.Forward), n)
+	}
+	for v, d := range cfg.Forward {
+		if d < 0 {
+			return fmt.Errorf("netsim: node %d has negative forward delay %v", v, d)
 		}
 	}
-	return &Simulator{
-		cfg:      cfg,
-		n:        n,
-		revIndex: rev,
-	}, nil
+	if cfg.SendInterval != nil {
+		if len(cfg.SendInterval) != n {
+			return fmt.Errorf("netsim: send intervals cover %d nodes, want %d", len(cfg.SendInterval), n)
+		}
+		for v, d := range cfg.SendInterval {
+			if d < 0 {
+				return fmt.Errorf("netsim: node %d has negative send interval %v", v, d)
+			}
+		}
+	}
+	if cfg.Silent != nil && len(cfg.Silent) != n {
+		return fmt.Errorf("netsim: silent mask covers %d nodes, want %d", len(cfg.Silent), n)
+	}
+	return nil
+}
+
+// rebuild (re)constructs the CSR arrays from adj in place, reusing the
+// existing backing arrays when they are large enough. The reverse index is
+// computed with an O(E) cursor sweep: visiting sources in ascending order,
+// source v must be the next unseen entry of each neighbor's (ascending)
+// row — any mismatch proves the adjacency asymmetric.
+func (s *Simulator) rebuild(adj [][]int) error {
+	n := len(adj)
+	total := 0
+	for _, row := range adj {
+		total += len(row)
+	}
+	s.cfg.Adj = adj
+	s.rowStart = growInt32(s.rowStart, n+1)
+	s.edgeDst = growInt32(s.edgeDst, total)
+	s.edgeSlot = growInt32(s.edgeSlot, total)
+	s.edgeDelay = growDurations(s.edgeDelay, total)
+	pos := int32(0)
+	for v, row := range adj {
+		s.rowStart[v] = pos
+		for _, w := range row {
+			s.edgeDst[pos] = int32(w)
+			pos++
+		}
+	}
+	s.rowStart[n] = pos
+	s.cursor = growInt32(s.cursor, n)
+	for i := range s.cursor {
+		s.cursor[i] = 0
+	}
+	for v := 0; v < n; v++ {
+		for e := s.rowStart[v]; e < s.rowStart[v+1]; e++ {
+			w := s.edgeDst[e]
+			k := s.cursor[w]
+			s.cursor[w] = k + 1
+			if s.rowStart[w]+k >= s.rowStart[w+1] || s.edgeDst[s.rowStart[w]+k] != int32(v) {
+				return fmt.Errorf("netsim: adjacency not symmetric: %d lists %d but not vice versa", v, w)
+			}
+			s.edgeSlot[e] = k
+		}
+	}
+	if err := latency.PrecomputeEdges(s.cfg.Latency, s.rowStart, s.edgeDst, s.edgeDelay); err != nil {
+		return err
+	}
+	s.gen++
+	return nil
+}
+
+// growInt32 returns a slice of length n, reusing buf's capacity if possible.
+func growInt32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+// growDurations returns a slice of length n, reusing buf's capacity.
+func growDurations(buf []time.Duration, n int) []time.Duration {
+	if cap(buf) < n {
+		return make([]time.Duration, n)
+	}
+	return buf[:n]
+}
+
+// Reconfigure replaces the simulator's topology in place, reusing the CSR
+// backing arrays. The adjacency is trusted like NewPrevalidated's (sorted,
+// in-range, self-loop free by construction; symmetry is still verified).
+// The node count must not change, so the latency/forward/silent tables
+// stay valid. Reconfigure must not run concurrently with any Broadcast or
+// ArrivalAnalytic call; existing Broadcasters resynchronize automatically
+// on their next Broadcast.
+func (s *Simulator) Reconfigure(adj [][]int) error {
+	if len(adj) != s.n {
+		return fmt.Errorf("netsim: reconfigure with %d nodes, simulator has %d", len(adj), s.n)
+	}
+	return s.rebuild(adj)
 }
 
 // N returns the number of nodes.
 func (s *Simulator) N() int { return s.n }
 
-// Adj returns the adjacency the simulator runs on.
+// Adj returns the adjacency the simulator currently runs on. The rows
+// alias the caller-provided config adjacency, not the CSR arrays.
 func (s *Simulator) Adj() [][]int { return s.cfg.Adj }
+
+// Degree returns the number of neighbors of v.
+func (s *Simulator) Degree(v int) int { return int(s.rowStart[v+1] - s.rowStart[v]) }
+
+// Row returns v's neighbor row of the CSR layout (ascending node IDs).
+// Row(v)[i] is the neighbor whose arrival lands in EdgeArrival[v][i].
+// Callers must not mutate the returned slice.
+func (s *Simulator) Row(v int) []int32 { return s.edgeDst[s.rowStart[v]:s.rowStart[v+1]] }
 
 // NewBroadcaster allocates an independent broadcast context over the shared
 // topology. Broadcasters are independent of one another: any number may run
 // Broadcast concurrently on the same Simulator, one per goroutine.
 func (s *Simulator) NewBroadcaster() *Broadcaster {
-	b := &Broadcaster{
-		sim:     s,
-		arrival: make([]time.Duration, s.n),
-	}
-	b.edgeArrival = make([][]time.Duration, s.n)
-	for v := 0; v < s.n; v++ {
-		b.edgeArrival[v] = make([]time.Duration, len(s.cfg.Adj[v]))
-	}
+	b := &Broadcaster{sim: s}
+	b.sync()
 	return b
+}
+
+// sync sizes the scratch buffers to the simulator's current topology and
+// re-aliases the per-node EdgeArrival rows over the flat buffer.
+func (b *Broadcaster) sync() {
+	s := b.sim
+	b.gen = s.gen
+	b.arrival = growDurations(b.arrival, s.n)
+	edges := int(s.rowStart[s.n])
+	b.edgeFlat = growDurations(b.edgeFlat, edges)
+	if cap(b.edgeArrival) < s.n {
+		b.edgeArrival = make([][]time.Duration, s.n)
+	}
+	b.edgeArrival = b.edgeArrival[:s.n]
+	for v := 0; v < s.n; v++ {
+		lo, hi := s.rowStart[v], s.rowStart[v+1]
+		b.edgeArrival[v] = b.edgeFlat[lo:hi:hi]
+	}
 }
 
 // Result is the outcome of one broadcast. Its slices alias the owning
@@ -187,6 +335,7 @@ type Result struct {
 	Arrival []time.Duration
 	// EdgeArrival[v][i] is when neighbor Adj[v][i]'s announcement of the
 	// block reached v, or InfDuration if that neighbor never relayed it.
+	// All rows alias one flat per-edge buffer.
 	EdgeArrival [][]time.Duration
 }
 
@@ -195,76 +344,145 @@ type Result struct {
 // a convenience for single-goroutine callers; concurrent broadcasts must
 // go through separate NewBroadcaster contexts.
 func (s *Simulator) Broadcast(source int) (Result, error) {
-	if s.base == nil {
-		s.base = s.NewBroadcaster()
+	b := s.base.Load()
+	if b == nil {
+		s.baseOnce.Do(func() { s.base.Store(s.NewBroadcaster()) })
+		b = s.base.Load()
 	}
-	return s.base.Broadcast(source)
+	return b.Broadcast(source)
 }
 
 // Broadcast simulates flooding a block mined by source at virtual time 0.
+// Once the Broadcaster's buffers have grown to the topology's size, it
+// performs no heap allocations.
 func (b *Broadcaster) Broadcast(source int) (Result, error) {
-	n := b.sim.n
-	if source < 0 || source >= n {
-		return Result{}, fmt.Errorf("netsim: source %d out of range (n=%d)", source, n)
+	s := b.sim
+	if b.gen != s.gen {
+		b.sync()
 	}
-	for v := 0; v < n; v++ {
-		b.arrival[v] = stats.InfDuration
-		row := b.edgeArrival[v]
-		for i := range row {
-			row[i] = stats.InfDuration
-		}
+	if source < 0 || source >= s.n {
+		return Result{}, fmt.Errorf("netsim: source %d out of range (n=%d)", source, s.n)
 	}
-	b.sched.Reset()
-	b.arrival[source] = 0
-	b.forward(source, 0)
-	b.sched.Run()
-	return Result{Source: source, Arrival: b.arrival, EdgeArrival: b.edgeArrival}, nil
+	arrival, edgeFlat := b.arrival, b.edgeFlat
+	for i := range arrival {
+		arrival[i] = stats.InfDuration
+	}
+	for i := range edgeFlat {
+		edgeFlat[i] = stats.InfDuration
+	}
+	b.queue.Reset()
+	arrival[source] = 0
+	b.forward(int32(source), 0)
+	b.run()
+	return Result{Source: source, Arrival: arrival, EdgeArrival: b.edgeArrival}, nil
 }
 
 // forward schedules v's announcements to all its neighbors, starting at
-// time at (v has validated the block by then).
-func (b *Broadcaster) forward(v int, at time.Duration) {
-	cfg := &b.sim.cfg
+// time at (v has validated the block by then). Delays are validated
+// non-negative at construction, so every push is in the present or future.
+func (b *Broadcaster) forward(v int32, at time.Duration) {
+	s := b.sim
 	var interval time.Duration
-	if cfg.SendInterval != nil {
-		interval = cfg.SendInterval[v]
+	if s.cfg.SendInterval != nil {
+		interval = s.cfg.SendInterval[v]
 	}
-	for j, w := range cfg.Adj[v] {
-		depart := at + time.Duration(j)*interval
-		deliverAt := depart + cfg.Latency.Delay(v, w)
-		w, slot := w, b.sim.revIndex[v][j]
-		// Scheduling in the present or future by construction: delays are
-		// validated non-negative, so the error path is unreachable; guard
-		// anyway to surface programming errors loudly in tests.
-		if err := b.sched.At(deliverAt, func() { b.deliver(w, slot) }); err != nil {
-			panic(fmt.Sprintf("netsim: internal scheduling bug: %v", err))
+	depart := at
+	for e := s.rowStart[v]; e < s.rowStart[v+1]; e++ {
+		b.queue.Push(des.Delivery{At: depart + s.edgeDelay[e], Node: s.edgeDst[e], Slot: s.edgeSlot[e]})
+		depart += interval
+	}
+}
+
+// run drains the delivery queue: each pop records the announcement arriving
+// at its node's neighbor slot, and the first delivery to a node triggers
+// that node's own forwarding.
+func (b *Broadcaster) run() {
+	s := b.sim
+	silent, fwd := s.cfg.Silent, s.cfg.Forward
+	for b.queue.Len() > 0 {
+		d := b.queue.PopMin()
+		idx := s.rowStart[d.Node] + d.Slot
+		if b.edgeFlat[idx] > d.At {
+			b.edgeFlat[idx] = d.At
+		}
+		if b.arrival[d.Node] == stats.InfDuration {
+			b.arrival[d.Node] = d.At
+			if silent == nil || !silent[d.Node] {
+				b.forward(d.Node, d.At+fwd[d.Node])
+			}
 		}
 	}
 }
 
-// deliver records the announcement arriving at node w in the given
-// neighbor slot, and triggers w's own forwarding on first receipt.
-func (b *Broadcaster) deliver(w, slot int) {
-	now := b.sched.Now()
-	cfg := &b.sim.cfg
-	if b.edgeArrival[w][slot] > now {
-		b.edgeArrival[w][slot] = now
-	}
-	if b.arrival[w] == stats.InfDuration {
-		b.arrival[w] = now
-		if cfg.Silent == nil || !cfg.Silent[w] {
-			b.forward(w, now+cfg.Forward[w])
+// dijkstraItem is one heap entry of the analytic pass.
+type dijkstraItem struct {
+	d time.Duration
+	v int32
+}
+
+// dijkstraScratch pools the analytic pass's binary heap so repeated λ_v
+// evaluations (once per node per evaluation pass, from many goroutines)
+// allocate nothing once warm.
+type dijkstraScratch struct {
+	heap []dijkstraItem
+}
+
+var dijkstraPool = sync.Pool{New: func() any { return new(dijkstraScratch) }}
+
+func (sc *dijkstraScratch) push(it dijkstraItem) {
+	sc.heap = append(sc.heap, it)
+	h := sc.heap
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].d <= h[i].d {
+			break
 		}
+		h[p], h[i] = h[i], h[p]
+		i = p
 	}
+}
+
+func (sc *dijkstraScratch) pop() dijkstraItem {
+	h := sc.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	sc.heap = h[:last]
+	h = sc.heap
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h[l].d < h[smallest].d {
+			smallest = l
+		}
+		if r < last && h[r].d < h[smallest].d {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	return top
 }
 
 // ArrivalAnalytic computes the same first-arrival vector as Broadcast via
-// Dijkstra, without per-edge bookkeeping. It does not support upload
-// serialization (returns an error if SendInterval is set), because
-// serialized sends are order-dependent and need the event simulation.
-// It allocates its own working state, so it is safe to call concurrently
-// from multiple goroutines on a shared Simulator.
+// Dijkstra over the precomputed per-edge delays, without per-edge
+// bookkeeping. It does not support upload serialization (returns an error
+// if SendInterval is set), because serialized sends are order-dependent and
+// need the event simulation. It is safe to call concurrently from multiple
+// goroutines on a shared Simulator.
 func (s *Simulator) ArrivalAnalytic(source int) ([]time.Duration, error) {
+	return s.ArrivalAnalyticInto(nil, source)
+}
+
+// ArrivalAnalyticInto is ArrivalAnalytic writing into dst (reused when its
+// capacity suffices, so steady-state callers allocate nothing — the
+// Dijkstra heap itself is pooled). It returns the possibly-regrown slice.
+func (s *Simulator) ArrivalAnalyticInto(dst []time.Duration, source int) ([]time.Duration, error) {
 	if source < 0 || source >= s.n {
 		return nil, fmt.Errorf("netsim: source %d out of range (n=%d)", source, s.n)
 	}
@@ -272,91 +490,40 @@ func (s *Simulator) ArrivalAnalytic(source int) ([]time.Duration, error) {
 		return nil, fmt.Errorf("netsim: analytic arrival unsupported with upload serialization")
 	}
 	// Arrival(w) = min over neighbors v of Arrival(v) + Δ_v·[v≠source] + δ(v, w).
-	weight := func(u, v int) time.Duration { return s.cfg.Latency.Delay(u, v) }
-	node := func(v int) time.Duration {
-		if v == source {
-			return 0
-		}
-		return s.cfg.Forward[v]
-	}
-	relays := func(v int) bool {
-		// A silent node relays nothing, but a silent miner still announces
-		// its own block.
-		return v == source || s.cfg.Silent == nil || !s.cfg.Silent[v]
-	}
-	return dijkstraNodeDelay(s.cfg.Adj, weight, node, relays, source), nil
-}
-
-// dijkstraNodeDelay is Dijkstra where relaying through node v additionally
-// costs node(v) after v's own arrival, and nodes with relays(v) == false
-// absorb blocks without forwarding.
-func dijkstraNodeDelay(adj [][]int, weight topology.WeightFunc, node func(int) time.Duration, relays func(int) bool, src int) []time.Duration {
-	n := len(adj)
-	dist := make([]time.Duration, n)
+	dist := growDurations(dst, s.n)
 	for i := range dist {
 		dist[i] = stats.InfDuration
 	}
-	dist[src] = 0
-	type item struct {
-		v int
-		d time.Duration
-	}
-	// Simple indexed binary heap specialized for this loop.
-	heapArr := make([]item, 0, n)
-	push := func(it item) {
-		heapArr = append(heapArr, it)
-		i := len(heapArr) - 1
-		for i > 0 {
-			p := (i - 1) / 2
-			if heapArr[p].d <= heapArr[i].d {
-				break
-			}
-			heapArr[p], heapArr[i] = heapArr[i], heapArr[p]
-			i = p
-		}
-	}
-	pop := func() item {
-		top := heapArr[0]
-		last := len(heapArr) - 1
-		heapArr[0] = heapArr[last]
-		heapArr = heapArr[:last]
-		i := 0
-		for {
-			l, r := 2*i+1, 2*i+2
-			smallest := i
-			if l < last && heapArr[l].d < heapArr[smallest].d {
-				smallest = l
-			}
-			if r < last && heapArr[r].d < heapArr[smallest].d {
-				smallest = r
-			}
-			if smallest == i {
-				break
-			}
-			heapArr[i], heapArr[smallest] = heapArr[smallest], heapArr[i]
-			i = smallest
-		}
-		return top
-	}
-	push(item{v: src, d: 0})
-	for len(heapArr) > 0 {
-		it := pop()
-		if it.d > dist[it.v] {
+	dist[source] = 0
+	silent, fwd := s.cfg.Silent, s.cfg.Forward
+	sc := dijkstraPool.Get().(*dijkstraScratch)
+	sc.heap = sc.heap[:0]
+	sc.push(dijkstraItem{d: 0, v: int32(source)})
+	for len(sc.heap) > 0 {
+		it := sc.pop()
+		v := it.v
+		if it.d > dist[v] {
 			continue
 		}
-		if !relays(it.v) {
+		// A silent node relays nothing, but a silent miner still announces
+		// its own block.
+		if silent != nil && silent[v] && int(v) != source {
 			continue
 		}
-		depart := it.d + node(it.v)
-		for _, w := range adj[it.v] {
-			d := depart + weight(it.v, w)
-			if d < dist[w] {
+		depart := it.d
+		if int(v) != source {
+			depart += fwd[v]
+		}
+		for e := s.rowStart[v]; e < s.rowStart[v+1]; e++ {
+			w := s.edgeDst[e]
+			if d := depart + s.edgeDelay[e]; d < dist[w] {
 				dist[w] = d
-				push(item{v: w, d: d})
+				sc.push(dijkstraItem{d: d, v: w})
 			}
 		}
 	}
-	return dist
+	dijkstraPool.Put(sc)
+	return dist, nil
 }
 
 // arrivalSorter sorts a reusable index slice by arrival time. It implements

@@ -1,0 +1,276 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/perigee-net/perigee/internal/des"
+	"github.com/perigee-net/perigee/internal/geo"
+	"github.com/perigee-net/perigee/internal/latency"
+	"github.com/perigee-net/perigee/internal/rng"
+	"github.com/perigee-net/perigee/internal/stats"
+	"github.com/perigee-net/perigee/internal/topology"
+)
+
+// refBroadcast is the pre-CSR reference implementation: the closure-based
+// des.Scheduler driving the same network model straight off Config (slice
+// adjacency, per-hop Latency.Delay calls, binary-search reverse index). The
+// property tests assert the flat typed-queue hot path reproduces it
+// bit-for-bit.
+type refBroadcast struct {
+	cfg      Config
+	rev      [][]int
+	sched    des.Scheduler
+	arrival  []time.Duration
+	edgeArrv [][]time.Duration
+}
+
+func newRefBroadcast(t *testing.T, cfg Config) *refBroadcast {
+	t.Helper()
+	n := len(cfg.Adj)
+	r := &refBroadcast{cfg: cfg, rev: make([][]int, n), arrival: make([]time.Duration, n)}
+	for u := 0; u < n; u++ {
+		r.rev[u] = make([]int, len(cfg.Adj[u]))
+		for j, v := range cfg.Adj[u] {
+			k := sort.SearchInts(cfg.Adj[v], u)
+			if k >= len(cfg.Adj[v]) || cfg.Adj[v][k] != u {
+				t.Fatalf("reference: adjacency not symmetric at (%d, %d)", u, v)
+			}
+			r.rev[u][j] = k
+		}
+	}
+	r.edgeArrv = make([][]time.Duration, n)
+	for v := 0; v < n; v++ {
+		r.edgeArrv[v] = make([]time.Duration, len(cfg.Adj[v]))
+	}
+	return r
+}
+
+func (r *refBroadcast) broadcast(source int) ([]time.Duration, [][]time.Duration) {
+	for v := range r.arrival {
+		r.arrival[v] = stats.InfDuration
+		for i := range r.edgeArrv[v] {
+			r.edgeArrv[v][i] = stats.InfDuration
+		}
+	}
+	r.sched.Reset()
+	r.arrival[source] = 0
+	r.forward(source, 0)
+	r.sched.Run()
+	return r.arrival, r.edgeArrv
+}
+
+func (r *refBroadcast) forward(v int, at time.Duration) {
+	var interval time.Duration
+	if r.cfg.SendInterval != nil {
+		interval = r.cfg.SendInterval[v]
+	}
+	for j, w := range r.cfg.Adj[v] {
+		depart := at + time.Duration(j)*interval
+		deliverAt := depart + r.cfg.Latency.Delay(v, w)
+		w, slot := w, r.rev[v][j]
+		if err := r.sched.At(deliverAt, func() { r.deliver(w, slot) }); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func (r *refBroadcast) deliver(w, slot int) {
+	now := r.sched.Now()
+	if r.edgeArrv[w][slot] > now {
+		r.edgeArrv[w][slot] = now
+	}
+	if r.arrival[w] == stats.InfDuration {
+		r.arrival[w] = now
+		if r.cfg.Silent == nil || !r.cfg.Silent[w] {
+			r.forward(w, now+r.cfg.Forward[w])
+		}
+	}
+}
+
+// randomCase samples one property-test network: random size/degree, random
+// heterogeneous forward delays, optionally serialized uploads and a random
+// silent set.
+func randomCase(t *testing.T, seed uint64, serialized, silent bool) Config {
+	t.Helper()
+	root := rng.New(seed)
+	n := 20 + int(root.IntN(60))
+	deg := 2 + int(root.IntN(4))
+	u, err := geo.SampleUniverse(n, root.Derive("universe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := latency.NewGeographic(u, root.Derive("lat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := topology.Random(n, deg, 3*deg, root.Derive("topo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Adj:     tbl.Undirected(),
+		Latency: model,
+		Forward: make([]time.Duration, n),
+	}
+	for i := range cfg.Forward {
+		cfg.Forward[i] = time.Duration(root.IntN(80)) * time.Millisecond
+	}
+	if serialized {
+		cfg.SendInterval = make([]time.Duration, n)
+		for i := range cfg.SendInterval {
+			cfg.SendInterval[i] = time.Duration(root.IntN(20)) * time.Millisecond
+		}
+	}
+	if silent {
+		cfg.Silent = make([]bool, n)
+		for i := range cfg.Silent {
+			cfg.Silent[i] = root.Float64() < 0.2
+		}
+	}
+	return cfg
+}
+
+// TestTypedSchedulerMatchesClosureScheduler is the property test of the
+// typed delivery queue: on randomized topologies — with and without upload
+// serialization and silent nodes — the CSR Broadcast must produce exactly
+// the Arrival and EdgeArrival matrices of the closure-based des.Scheduler
+// reference.
+func TestTypedSchedulerMatchesClosureScheduler(t *testing.T) {
+	for seed := uint64(0); seed < 12; seed++ {
+		for _, mode := range []struct {
+			name               string
+			serialized, silent bool
+		}{
+			{"plain", false, false},
+			{"serialized", true, false},
+			{"silent", false, true},
+			{"serialized-silent", true, true},
+		} {
+			t.Run(fmt.Sprintf("seed%d-%s", seed, mode.name), func(t *testing.T) {
+				cfg := randomCase(t, seed*7919+1, mode.serialized, mode.silent)
+				sim, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref := newRefBroadcast(t, cfg)
+				n := len(cfg.Adj)
+				for _, src := range []int{0, n / 2, n - 1} {
+					got, err := sim.Broadcast(src)
+					if err != nil {
+						t.Fatal(err)
+					}
+					wantArr, wantEdge := ref.broadcast(src)
+					for v := 0; v < n; v++ {
+						if got.Arrival[v] != wantArr[v] {
+							t.Fatalf("src %d: arrival[%d] = %v, reference %v", src, v, got.Arrival[v], wantArr[v])
+						}
+						for i := range wantEdge[v] {
+							if got.EdgeArrival[v][i] != wantEdge[v][i] {
+								t.Fatalf("src %d: edgeArrival[%d][%d] = %v, reference %v",
+									src, v, i, got.EdgeArrival[v][i], wantEdge[v][i])
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestReconfigureMatchesFresh proves in-place CSR reconfiguration is
+// equivalent to building a fresh simulator, and that existing Broadcasters
+// resynchronize across the topology change.
+func TestReconfigureMatchesFresh(t *testing.T) {
+	cfgA := randomCase(t, 42, false, false)
+	n := len(cfgA.Adj)
+	sim, err := New(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := sim.NewBroadcaster()
+	if _, err := bc.Broadcast(0); err != nil {
+		t.Fatal(err)
+	}
+
+	// A different topology over the same universe and tables.
+	root := rng.New(43)
+	tbl, err := topology.Random(n, 4, 12, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgB := cfgA
+	cfgB.Adj = tbl.Undirected()
+	if err := sim.Reconfigure(cfgB.Adj); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := New(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range []int{0, n - 1} {
+		got, err := bc.Broadcast(src) // pre-reconfigure Broadcaster, reused
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fresh.Broadcast(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < n; v++ {
+			if got.Arrival[v] != want.Arrival[v] {
+				t.Fatalf("src %d: arrival[%d] = %v, fresh %v", src, v, got.Arrival[v], want.Arrival[v])
+			}
+			for i := range want.EdgeArrival[v] {
+				if got.EdgeArrival[v][i] != want.EdgeArrival[v][i] {
+					t.Fatalf("src %d: edge[%d][%d] mismatch", src, v, i)
+				}
+			}
+		}
+		gotAn, err := sim.ArrivalAnalytic(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantAn, err := fresh.ArrivalAnalytic(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < n; v++ {
+			if gotAn[v] != wantAn[v] {
+				t.Fatalf("src %d: analytic[%d] = %v, fresh %v", src, v, gotAn[v], wantAn[v])
+			}
+		}
+	}
+}
+
+// TestPrevalidatedRejectsAsymmetry proves the trusted constructor still
+// detects a malformed adjacency via the reverse-index sweep rather than
+// silently corrupting the reverse index.
+func TestPrevalidatedRejectsAsymmetry(t *testing.T) {
+	cfg := Config{
+		Adj:     [][]int{{1, 2}, {0}, {}},
+		Latency: latency.Constant{Nodes: 3, D: time.Millisecond},
+		Forward: make([]time.Duration, 3),
+	}
+	if _, err := NewPrevalidated(cfg); err == nil {
+		t.Fatal("NewPrevalidated accepted an asymmetric adjacency")
+	}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("New accepted an asymmetric adjacency")
+	}
+}
+
+// TestReconfigureRejectsResize pins the contract that the node count is
+// fixed at construction (the latency/forward tables stay valid).
+func TestReconfigureRejectsResize(t *testing.T) {
+	cfg := lineConfig(4, 0)
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Reconfigure([][]int{{1}, {0}}); err == nil {
+		t.Fatal("Reconfigure accepted a different node count")
+	}
+}

@@ -36,6 +36,10 @@ type Table struct {
 	maxIn int
 	out   []map[int]struct{}
 	in    []map[int]struct{}
+	// version increments on every successful edge mutation, letting callers
+	// (e.g. the engine's cached simulator) detect topology changes without
+	// comparing adjacencies.
+	version uint64
 }
 
 // NewTable creates an empty table for n nodes with the given incoming cap.
@@ -92,6 +96,7 @@ func (t *Table) Connect(u, v int) error {
 	}
 	t.out[u][v] = struct{}{}
 	t.in[v][u] = struct{}{}
+	t.version++
 	return nil
 }
 
@@ -108,8 +113,15 @@ func (t *Table) Disconnect(u, v int) error {
 	}
 	delete(t.out[u], v)
 	delete(t.in[v], u)
+	t.version++
 	return nil
 }
+
+// Version returns a counter that increments on every successful Connect or
+// Disconnect. Two calls returning the same value bracket a window in which
+// the table's edge set did not change, so derived structures (adjacency
+// snapshots, simulators) built in between are still current.
+func (t *Table) Version() uint64 { return t.version }
 
 // HasOut reports whether the outgoing edge u->v exists.
 func (t *Table) HasOut(u, v int) bool {
@@ -129,6 +141,13 @@ func (t *Table) InFree(u int) int { return t.maxIn - len(t.in[u]) }
 // OutNeighbors returns u's outgoing neighbors in ascending order.
 func (t *Table) OutNeighbors(u int) []int { return sortedKeys(t.out[u]) }
 
+// AppendOutNeighbors appends u's outgoing neighbors in ascending order to
+// buf and returns the extended slice, reusing buf's capacity. Callers on
+// hot paths pass buf[:0] to avoid the per-call allocation of OutNeighbors.
+func (t *Table) AppendOutNeighbors(buf []int, u int) []int {
+	return appendSortedKeys(buf, t.out[u])
+}
+
 // InNeighbors returns u's incoming neighbors in ascending order.
 func (t *Table) InNeighbors(u int) []int { return sortedKeys(t.in[u]) }
 
@@ -147,21 +166,46 @@ func (t *Table) Neighbors(u int) []int {
 }
 
 func sortedKeys(m map[int]struct{}) []int {
-	out := make([]int, 0, len(m))
+	return appendSortedKeys(make([]int, 0, len(m)), m)
+}
+
+func appendSortedKeys(buf []int, m map[int]struct{}) []int {
+	start := len(buf)
 	for k := range m {
-		out = append(out, k)
+		buf = append(buf, k)
 	}
-	sort.Ints(out)
-	return out
+	sort.Ints(buf[start:])
+	return buf
 }
 
 // Undirected returns the symmetric adjacency lists of the communication
 // graph (outgoing ∪ incoming per node), each list ascending. The result is
 // a snapshot; it does not alias the table.
 func (t *Table) Undirected() [][]int {
-	adj := make([][]int, t.n)
+	return t.UndirectedInto(nil)
+}
+
+// UndirectedInto fills adj with the symmetric adjacency snapshot, reusing
+// adj's outer slice and per-row capacity when possible (pass the previous
+// round's snapshot to rebuild it without reallocating). The result is
+// sorted ascending per row and does not alias the table.
+func (t *Table) UndirectedInto(adj [][]int) [][]int {
+	if cap(adj) < t.n {
+		adj = make([][]int, t.n)
+	}
+	adj = adj[:t.n]
 	for u := 0; u < t.n; u++ {
-		adj[u] = t.Neighbors(u)
+		row := adj[u][:0]
+		for v := range t.out[u] {
+			row = append(row, v)
+		}
+		for v := range t.in[u] {
+			if _, dup := t.out[u][v]; !dup {
+				row = append(row, v)
+			}
+		}
+		sort.Ints(row)
+		adj[u] = row
 	}
 	return adj
 }
