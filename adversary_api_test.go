@@ -1,0 +1,139 @@
+package perigee
+
+import (
+	"testing"
+	"time"
+)
+
+// TestWithAdversaryComposition builds an attacked network through the
+// public options API and checks the attack is live: adversaries are
+// sampled at the requested fraction, the network runs, and the scoring
+// rule punishes withholding relays (honest nodes hold fewer adversary
+// out-edges than the population share after convergence).
+func TestWithAdversaryComposition(t *testing.T) {
+	const nodes = 120
+	net, err := New(nodes,
+		WithSeed(11),
+		WithAdversary(WithholdingRelayAdversary(300*time.Millisecond, 0.5), 0.2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	advs := net.AdversaryNodes()
+	if want := int(0.2 * nodes); len(advs) != want {
+		t.Fatalf("got %d adversaries, want %d", len(advs), want)
+	}
+	if err := net.Run(6); err != nil {
+		t.Fatal(err)
+	}
+	isAdv := make([]bool, nodes)
+	for _, a := range advs {
+		isAdv[a] = true
+	}
+	advSlots, slots := 0, 0
+	for v := 0; v < nodes; v++ {
+		if isAdv[v] {
+			continue
+		}
+		for _, u := range net.OutNeighbors(v) {
+			slots++
+			if isAdv[u] {
+				advSlots++
+			}
+		}
+	}
+	share := float64(advSlots) / float64(slots)
+	t.Logf("adversary out-slot share after convergence: %.1f%% (population 20%%)", 100*share)
+	if share >= 0.2 {
+		t.Errorf("scoring did not punish withholding relays: share %.2f >= population 0.20", share)
+	}
+}
+
+// TestWithAdversaryDeterminism: identical seeds and options reproduce an
+// attacked run exactly.
+func TestWithAdversaryDeterminism(t *testing.T) {
+	build := func(workers int) [][]int {
+		net, err := New(80,
+			WithSeed(5),
+			WithWorkers(workers),
+			WithAdversary(LatencyLiarAdversary(0.5, 200*time.Millisecond), 0.15),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Run(4); err != nil {
+			t.Fatal(err)
+		}
+		return net.Adjacency()
+	}
+	a, b := build(1), build(8)
+	for v := range a {
+		if len(a[v]) != len(b[v]) {
+			t.Fatalf("node %d degree differs across worker counts", v)
+		}
+		for i := range a[v] {
+			if a[v][i] != b[v][i] {
+				t.Fatalf("node %d adjacency differs across worker counts", v)
+			}
+		}
+	}
+}
+
+// TestWithAdversaryComposesWithDynamics: a user Dynamics hook and the
+// adversary's per-round agent both run — dynamics first, adversary last.
+func TestWithAdversaryComposesWithDynamics(t *testing.T) {
+	rounds := 0
+	net, err := New(60,
+		WithSeed(3),
+		WithDynamics(DynamicsFunc(func(ctl *Control, round int) error {
+			rounds++
+			return nil
+		})),
+		WithAdversary(SybilFloodAdversary(2), 0.1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 3 {
+		t.Fatalf("user dynamics ran %d times, want 3", rounds)
+	}
+	advs := net.AdversaryNodes()
+	grew := false
+	for _, a := range advs {
+		if len(net.OutNeighbors(a)) > 8 {
+			grew = true
+		}
+	}
+	if !grew {
+		t.Error("sybil agent never dialed: adversary out-degrees did not grow")
+	}
+}
+
+func TestWithAdversaryValidation(t *testing.T) {
+	if _, err := New(60, WithAdversary(nil, 0.1)); err == nil {
+		t.Error("nil strategy accepted")
+	}
+	if _, err := New(60, WithAdversary(EclipseBiasAdversary(0), 1)); err == nil {
+		t.Error("fraction 1 accepted")
+	}
+	if _, err := New(60, WithAdversary(LatencyLiarAdversary(2, 0), 0.1)); err == nil {
+		t.Error("invalid strategy parameters accepted")
+	}
+}
+
+// TestAdversariesListing: the built-in registry exposes five named
+// strategies through the public alias.
+func TestAdversariesListing(t *testing.T) {
+	all := Adversaries()
+	if len(all) < 5 {
+		t.Fatalf("got %d built-in strategies, want >= 5", len(all))
+	}
+	for _, a := range all {
+		if a.Name() == "" {
+			t.Error("unnamed strategy")
+		}
+	}
+}

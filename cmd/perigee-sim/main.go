@@ -7,6 +7,7 @@
 //	perigee-sim -scenario figure3a -nodes 1000 -trials 3 -rounds 30
 //	perigee-sim -scenario figure1 -quick -json
 //	perigee-sim -all -quick -out results.md
+//	perigee-sim -adversary withholding -adversary-frac 0.2 -quick
 package main
 
 import (
@@ -32,6 +33,8 @@ func main() {
 		rounds     = flag.Int("rounds", 0, "override Perigee round count")
 		seed       = flag.Uint64("seed", 0, "override root seed")
 		workers    = flag.Int("workers", 0, "worker goroutines for trials/broadcasts (0 = all cores; results are identical for any value)")
+		adv        = flag.String("adversary", "", "run the adversary-<name> scenario for a built-in strategy (latency-liar, withholding, sybil-flood, eclipse-bias, partition)")
+		advFrac    = flag.Float64("adversary-frac", 0, "population share under adversary control in adversarial scenarios (0 = default 0.15)")
 		asJSON     = flag.Bool("json", false, "emit results as JSON instead of the text report")
 		out        = flag.String("out", "", "also append rendered results to this file")
 	)
@@ -61,10 +64,19 @@ func main() {
 		opt.Seed = *seed
 	}
 	opt.Workers = *workers
+	opt.AdversaryFraction = *advFrac
 
 	selected := *scenario
 	if selected == "" {
 		selected = *experiment
+	}
+	if *adv != "" {
+		id := "adversary-" + strings.TrimSpace(*adv)
+		if selected != "" {
+			selected += "," + id
+		} else {
+			selected = id
+		}
 	}
 	var ids []string
 	switch {
@@ -73,7 +85,7 @@ func main() {
 	case selected != "":
 		ids = strings.Split(selected, ",")
 	default:
-		fmt.Fprintln(os.Stderr, "need -scenario <id>, -all, or -list")
+		fmt.Fprintln(os.Stderr, "need -scenario <id>, -adversary <name>, -all, or -list")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -111,7 +123,13 @@ func main() {
 			fmt.Printf("%s(completed in %v)\n\n", rendered, time.Since(start).Round(time.Second))
 		}
 		if sink != nil {
-			fmt.Fprintf(sink, "```\n%s```\n\n", rendered)
+			if *asJSON {
+				// Raw JSON documents (one per scenario), machine-consumable —
+				// the nightly workflow uploads this file as an artifact.
+				fmt.Fprint(sink, rendered)
+			} else {
+				fmt.Fprintf(sink, "```\n%s```\n\n", rendered)
+			}
 		}
 	}
 }

@@ -1,0 +1,288 @@
+package adversary
+
+import (
+	"fmt"
+	"time"
+)
+
+// Default parameters of the built-in strategies — one place to see how
+// hostile each registry entry is out of the box.
+const (
+	// DefaultLieFactor is how much a latency liar shrinks its observed
+	// offsets: the victim's scoring sees offsets at half their true value.
+	DefaultLieFactor = 0.5
+	// DefaultWithholdDelay is the built-in withholding/liar forwarding
+	// delay — several times the typical inter-regional link latency, so a
+	// withheld relay is distinctly worse than any honest neighbor.
+	DefaultWithholdDelay = 300 * time.Millisecond
+	// DefaultNeverFraction is the share of withholding relays that never
+	// forward at all (the rest forward late).
+	DefaultNeverFraction = 0.5
+	// DefaultSybilDials is how many fresh victims each sybil dials per
+	// round.
+	DefaultSybilDials = 4
+	// DefaultPartitionGroups is the number of groups a regional partition
+	// splits the network into.
+	DefaultPartitionGroups = 3
+	// DefaultPartitionFactor is the inter-group latency inflation once a
+	// partition activates.
+	DefaultPartitionFactor = 4.0
+)
+
+// latencyLiar under-reports its delivery offsets (manipulated timestamps
+// make it look fast) while actually withholding relays. Perigee's defense
+// is that the lie is bounded: a liar whose true relaying is slow enough
+// still scores worse than honest neighbors even after shrinking its
+// offsets, so the subset rule evicts it — while the random baseline keeps
+// paying the full withholding delay on every liar it happens to retain.
+type latencyLiar struct {
+	lieFactor float64
+	withhold  time.Duration
+}
+
+// NewLatencyLiar builds the timestamp-manipulation strategy: compromised
+// nodes delay every relay by withhold, and every victim's observed offset
+// from a compromised neighbor is multiplied by lieFactor in [0, 1) before
+// scoring (0 = the liar claims instant delivery for every block it did
+// deliver; censored slots stay censored — a liar cannot fake a block the
+// victim never received).
+func NewLatencyLiar(lieFactor float64, withhold time.Duration) Strategy {
+	return &latencyLiar{lieFactor: lieFactor, withhold: withhold}
+}
+
+func (s *latencyLiar) Name() string { return "latency-liar" }
+func (s *latencyLiar) Brief() string {
+	return "under-reports offsets to look fast, then withholds relays"
+}
+
+func (s *latencyLiar) Setup(env *Env, net *Network) (Agent, error) {
+	if s.lieFactor < 0 || s.lieFactor >= 1 {
+		return Agent{}, fmt.Errorf("adversary: latency-liar lie factor %v outside [0, 1)", s.lieFactor)
+	}
+	if s.withhold < 0 {
+		return Agent{}, fmt.Errorf("adversary: latency-liar withhold delay %v must be non-negative", s.withhold)
+	}
+	for _, a := range env.Adversaries {
+		net.RelayDelay[a] += s.withhold
+	}
+	lie := s.lieFactor
+	return Agent{
+		TamperObservations: func(_ int, neighbors []int, offsets [][]time.Duration) {
+			for i, u := range neighbors {
+				if u < 0 || u >= env.N || !env.IsAdversary[u] {
+					continue
+				}
+				for _, row := range offsets {
+					if row[i] != Censored {
+						row[i] = time.Duration(float64(row[i]) * lie)
+					}
+				}
+			}
+		},
+	}, nil
+}
+
+// withholdingRelay accepts blocks but forwards them late or never — the
+// generalization of the free-rider Silent flag to graded withholding.
+type withholdingRelay struct {
+	delay     time.Duration
+	neverFrac float64
+}
+
+// NewWithholdingRelay builds the withholding strategy: a neverFrac share
+// of the compromised nodes (the first entries of the shuffled adversary
+// set) never relay at all; the rest relay after an extra delay.
+func NewWithholdingRelay(delay time.Duration, neverFrac float64) Strategy {
+	return &withholdingRelay{delay: delay, neverFrac: neverFrac}
+}
+
+func (s *withholdingRelay) Name() string { return "withholding" }
+func (s *withholdingRelay) Brief() string {
+	return "accepts blocks, forwards late or never"
+}
+
+func (s *withholdingRelay) Setup(env *Env, net *Network) (Agent, error) {
+	if s.delay < 0 {
+		return Agent{}, fmt.Errorf("adversary: withholding delay %v must be non-negative", s.delay)
+	}
+	if s.neverFrac < 0 || s.neverFrac > 1 {
+		return Agent{}, fmt.Errorf("adversary: withholding never-fraction %v outside [0, 1]", s.neverFrac)
+	}
+	never := int(s.neverFrac * float64(len(env.Adversaries)))
+	for i, a := range env.Adversaries {
+		if i < never {
+			net.Silent[a] = true
+		} else {
+			net.RelayDelay[a] += s.delay
+		}
+	}
+	return Agent{}, nil
+}
+
+// sybilFlood runs the compromised identities as useless connection sinks:
+// they never relay, never run the neighbor-update protocol, and instead
+// aggressively dial honest victims every round, eating the network's
+// finite incoming capacity so honest exploration starves.
+type sybilFlood struct {
+	dialsPerRound int
+}
+
+// NewSybilFlood builds the connection-exhaustion strategy: each sybil
+// establishes up to dialsPerRound fresh outgoing connections to random
+// honest victims after every round, never releasing old ones.
+func NewSybilFlood(dialsPerRound int) Strategy {
+	return &sybilFlood{dialsPerRound: dialsPerRound}
+}
+
+func (s *sybilFlood) Name() string { return "sybil-flood" }
+func (s *sybilFlood) Brief() string {
+	return "silent identities flood victims' incoming slots every round"
+}
+
+func (s *sybilFlood) Setup(env *Env, net *Network) (Agent, error) {
+	if s.dialsPerRound <= 0 {
+		return Agent{}, fmt.Errorf("adversary: sybil dials per round %d must be positive", s.dialsPerRound)
+	}
+	for _, a := range env.Adversaries {
+		net.Silent[a] = true
+		net.Frozen[a] = true
+	}
+	dials := s.dialsPerRound
+	return Agent{
+		AfterRound: func(ctl Control, _ int) error {
+			// Attempts are bounded: once the honest population's inboxes
+			// are saturated, a sybil stops burning draws.
+			for _, a := range env.Adversaries {
+				added, attempts := 0, 0
+				for added < dials && attempts < 4*dials+16 {
+					attempts++
+					v := env.Rand.IntN(env.N)
+					if v == a || env.IsAdversary[v] || ctl.HasOut(a, v) {
+						continue
+					}
+					if err := ctl.Connect(a, v); err != nil {
+						continue // inbox full — try another victim
+					}
+					added++
+				}
+			}
+			return nil
+		},
+	}, nil
+}
+
+// eclipseBias generalizes the historical hard-coded eclipse experiment:
+// compromised nodes validate instantly, so Perigee's scoring legitimately
+// over-represents them in honest neighborhoods (§6's capture concern).
+// With attackRound > 0 the strategy is a sleeper: at that round the
+// captured positions stop relaying entirely, converting earned trust into
+// withholding.
+type eclipseBias struct {
+	attackRound int
+}
+
+// NewEclipseBias builds the neighborhood-capture strategy. attackRound 0
+// means the adversaries stay "honestly fast" for the whole run — exactly
+// the historical eclipse scenario; attackRound r > 0 flips them silent
+// after round r completes.
+func NewEclipseBias(attackRound int) Strategy {
+	return &eclipseBias{attackRound: attackRound}
+}
+
+func (s *eclipseBias) Name() string { return "eclipse-bias" }
+func (s *eclipseBias) Brief() string {
+	return "instant validation earns neighborhood capture; optionally turns withholding"
+}
+
+func (s *eclipseBias) Setup(env *Env, net *Network) (Agent, error) {
+	if s.attackRound < 0 {
+		return Agent{}, fmt.Errorf("adversary: eclipse-bias attack round %d must be non-negative", s.attackRound)
+	}
+	for _, a := range env.Adversaries {
+		net.Forward[a] = 0
+	}
+	if s.attackRound == 0 {
+		return Agent{}, nil
+	}
+	at := s.attackRound
+	return Agent{
+		AfterRound: func(_ Control, round int) error {
+			if round == at {
+				for _, a := range env.Adversaries {
+					net.Silent[a] = true
+				}
+			}
+			return nil
+		},
+	}, nil
+}
+
+// regionalPartition is an infrastructure-level adversary (it controls no
+// nodes): mid-run it inflates the latency of every link crossing a group
+// boundary, modeling a regional backbone degradation or cut. Perigee
+// re-learns around the damage; static topologies cannot.
+type regionalPartition struct {
+	groups        int
+	activateRound int
+	factor        float64
+}
+
+// NewRegionalPartition builds the partition strategy: nodes are split
+// into `groups` contiguous index groups, and after round activateRound
+// completes every inter-group link delay is multiplied by factor (> 1
+// inflates; large values effectively sever).
+func NewRegionalPartition(groups, activateRound int, factor float64) Strategy {
+	return &regionalPartition{groups: groups, activateRound: activateRound, factor: factor}
+}
+
+func (s *regionalPartition) Name() string { return "partition" }
+func (s *regionalPartition) Brief() string {
+	return "inflates inter-region link latencies mid-run"
+}
+
+func (s *regionalPartition) Setup(env *Env, net *Network) (Agent, error) {
+	if s.groups < 2 {
+		return Agent{}, fmt.Errorf("adversary: partition needs at least 2 groups, got %d", s.groups)
+	}
+	if s.activateRound <= 0 {
+		return Agent{}, fmt.Errorf("adversary: partition activation round %d must be positive", s.activateRound)
+	}
+	if s.factor < 1 {
+		return Agent{}, fmt.Errorf("adversary: partition factor %v must be at least 1", s.factor)
+	}
+	if net.Latency == nil {
+		return Agent{}, fmt.Errorf("adversary: partition needs a driver with tamperable latency")
+	}
+	groups, factor, n, lat := s.groups, s.factor, env.N, net.Latency
+	group := func(v int) int { return v * groups / n }
+	at := s.activateRound
+	return Agent{
+		AfterRound: func(ctl Control, round int) error {
+			if round != at {
+				return nil
+			}
+			lat.SetTransform(func(u, v int, d time.Duration) time.Duration {
+				if group(u) != group(v) {
+					return time.Duration(float64(d) * factor)
+				}
+				return d
+			})
+			ctl.InvalidateNetwork()
+			return nil
+		},
+	}, nil
+}
+
+// Builtins returns one default-parameter instance of every built-in
+// strategy, in registry order. The experiment registry runs each as an
+// "adversary-<name>" scenario (with run-length-aware parameters where a
+// strategy needs them).
+func Builtins() []Strategy {
+	return []Strategy{
+		NewLatencyLiar(DefaultLieFactor, DefaultWithholdDelay),
+		NewWithholdingRelay(DefaultWithholdDelay, DefaultNeverFraction),
+		NewSybilFlood(DefaultSybilDials),
+		NewEclipseBias(0),
+		NewRegionalPartition(DefaultPartitionGroups, 1, DefaultPartitionFactor),
+	}
+}

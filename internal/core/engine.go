@@ -110,6 +110,22 @@ type Config struct {
 	// Silent marks free-riding nodes that receive blocks but never relay
 	// them (§1's protocol deviation). Optional.
 	Silent []bool
+	// RelayDelay adds a per-node withholding delay on top of Forward before
+	// a received block is relayed onward (adversarial "accept but forward
+	// late" behavior; see netsim.Config.RelayDelay). Optional. The slice is
+	// read live each broadcast, so Dynamics may mutate entries between
+	// rounds.
+	RelayDelay []time.Duration
+	// Tamper, if non-nil, rewrites the observations each node is about to
+	// feed its selector: it is called once per node per round, after the
+	// broadcast phase and before any decision, with the node's neighbor
+	// snapshot and its per-block offset matrix (Offsets[b][i] is block b's
+	// arrival offset from neighbors[i]; stats.InfDuration marks a censored
+	// observation). Adversary strategies use it to model manipulated
+	// timestamps — a neighbor that lies about when it delivered. Calls are
+	// sequential in ascending node order, so stateful tampering stays
+	// deterministic at any Workers count.
+	Tamper func(node int, neighbors []int, offsets [][]time.Duration)
 	// SendInterval, if non-nil, serializes each node's uploads (see
 	// netsim.Config.SendInterval); λ evaluation then uses the event
 	// simulation instead of the analytic pass.
@@ -144,7 +160,9 @@ type Engine struct {
 	pinned       [][2]int
 	frozen       []bool
 	silent       []bool
+	relayDelay   []time.Duration
 	sendInterval []time.Duration
+	tamper       func(node int, neighbors []int, offsets [][]time.Duration)
 	rand         *rng.RNG
 	// selRand roots the per-(round, node) streams handed to the selector;
 	// derivation is stateless, so selector draws never perturb the engine
@@ -171,6 +189,7 @@ type Engine struct {
 type roundScratch struct {
 	sim        *netsim.Simulator
 	simVersion uint64
+	simDirty   bool
 	adj        [][]int
 	bcs        []*netsim.Broadcaster
 	outs       [][]int
@@ -278,6 +297,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.Silent != nil && len(cfg.Silent) != n {
 		return nil, fmt.Errorf("core: silent mask covers %d nodes, want %d", len(cfg.Silent), n)
 	}
+	if cfg.RelayDelay != nil && len(cfg.RelayDelay) != n {
+		return nil, fmt.Errorf("core: relay delays cover %d nodes, want %d", len(cfg.RelayDelay), n)
+	}
 	if cfg.SendInterval != nil && len(cfg.SendInterval) != n {
 		return nil, fmt.Errorf("core: send intervals cover %d nodes, want %d", len(cfg.SendInterval), n)
 	}
@@ -305,7 +327,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 		pinned:       cfg.Pinned,
 		frozen:       cfg.Frozen,
 		silent:       cfg.Silent,
+		relayDelay:   cfg.RelayDelay,
 		sendInterval: cfg.SendInterval,
+		tamper:       cfg.Tamper,
 		rand:         cfg.Rand,
 		selRand:      cfg.Rand.Derive("selector"),
 		sampler:      sampler,
@@ -358,7 +382,7 @@ func (e *Engine) workerCount(items int) int {
 func (e *Engine) ensureSim() (*netsim.Simulator, error) {
 	rs := &e.scratch
 	ver := e.table.Version()
-	if rs.sim != nil && rs.simVersion == ver {
+	if rs.sim != nil && rs.simVersion == ver && !rs.simDirty {
 		return rs.sim, nil
 	}
 	rs.adj = e.table.UndirectedInto(rs.adj)
@@ -373,6 +397,7 @@ func (e *Engine) ensureSim() (*netsim.Simulator, error) {
 			Forward:      e.forward,
 			SendInterval: e.sendInterval,
 			Silent:       e.silent,
+			RelayDelay:   e.relayDelay,
 		})
 		if err != nil {
 			return nil, err
@@ -382,8 +407,18 @@ func (e *Engine) ensureSim() (*netsim.Simulator, error) {
 		return nil, err
 	}
 	rs.simVersion = ver
+	rs.simDirty = false
 	return rs.sim, nil
 }
+
+// InvalidateNetworkCache forces the next simulator use to rebuild its
+// per-edge state even when the connection table has not changed. Dynamics
+// that mutate the environment out from under the engine — most notably a
+// latency model whose delays change mid-run (adversarial partitions, route
+// inflation) — must call it, because edge delays are precomputed when the
+// cached simulator is (re)built. Per-node tables read live at broadcast
+// time (Forward, Silent, RelayDelay) do not need it.
+func (e *Engine) InvalidateNetworkCache() { e.scratch.simDirty = true }
 
 // broadcasters returns at least `workers` per-worker broadcast contexts
 // over the cached simulator, growing the pool on first use and reusing it
@@ -498,6 +533,14 @@ func (e *Engine) Step() (RoundReport, error) {
 	})
 	if err != nil {
 		return RoundReport{}, err
+	}
+
+	// Adversarial observation tampering runs between measurement and
+	// decision: whatever the tamper hook writes is what the selectors see.
+	if e.tamper != nil {
+		for v := 0; v < n; v++ {
+			e.tamper(v, obs[v].Neighbors, obs[v].Offsets)
+		}
 	}
 
 	var ev *RoundEvent

@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/perigee-net/perigee/internal/adversary"
+	"github.com/perigee-net/perigee/internal/stats"
+)
+
+// The statistical conformance suite asserts the paper's qualitative
+// claims hold in this codebase, seed-averaged with one-sided confidence
+// bounds rather than single-run point comparisons:
+//
+//   - Perigee-Subset beats both Random and Vanilla on p90 λ (Fig. 3a/5);
+//   - the Subset convergence trajectory is near-monotone (§5.2);
+//   - every built-in adversary strategy degrades the Random baseline
+//     strictly more than Perigee-Subset.
+//
+// The suite is CI-scale (a few hundred nodes, a handful of rounds, a few
+// seeds), skipped under -short, and run as its own CI job. All inputs
+// are fixed seeds, so a passing configuration is deterministic — the
+// confidence bounds guard against asserting orderings that hold only by
+// a hair on one seed.
+
+// conformanceSeeds are the root seeds the claims are averaged over.
+var conformanceSeeds = []uint64{2020, 2021, 2022, 2023, 2024}
+
+// conformanceOptions is the suite's shared scale. The adversary fraction
+// is above the scenario default: at CI scale the per-seed degradation
+// signal must clear seed-to-seed variance, and a quarter of the
+// population compromised gives every strategy a clearly measurable bite
+// while staying far from majority control.
+func conformanceOptions(seed uint64) Options {
+	opt := ShortOptions()
+	opt.Nodes = 200
+	opt.Rounds = 8
+	opt.RoundBlocks = 40
+	opt.Seed = seed
+	opt.AdversaryFraction = 0.25
+	return opt
+}
+
+// tUpper95 holds one-sided 95% Student-t critical values by degrees of
+// freedom (df 1..9).
+var tUpper95 = []float64{math.NaN(), 6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833}
+
+// lowerConfBound returns the one-sided 95% lower confidence bound on the
+// mean of xs.
+func lowerConfBound(xs []float64) float64 {
+	var s stats.Summary
+	for _, x := range xs {
+		s.Add(x)
+	}
+	n := len(xs)
+	if n < 2 {
+		return s.Mean()
+	}
+	df := n - 1
+	if df >= len(tUpper95) {
+		df = len(tUpper95) - 1
+	}
+	return s.Mean() - tUpper95[df]*s.Std()/math.Sqrt(float64(n))
+}
+
+// conformanceData is everything the claims share, computed once: per-seed
+// clean medians/p90s and per-(strategy, seed) attacked medians for the
+// Subset and Random arms.
+type conformanceData struct {
+	// p90 λ of the three clean arms, per seed.
+	subsetP90, vanillaP90, randomP90 []float64
+	// median honest λ of the clean Subset/Random arms, per seed.
+	subsetClean, randomClean []float64
+	// median honest λ under attack: strategy name -> per-seed values.
+	subsetAttacked, randomAttacked map[string][]float64
+	// strategy names in registry order.
+	strategies []string
+}
+
+var (
+	confOnce sync.Once
+	confData *conformanceData
+	confErr  error
+)
+
+// conformanceStrategies mirrors the registered adversary-* scenarios at
+// the conformance scale.
+func conformanceStrategies(opt Options) map[string]adversary.Strategy {
+	return map[string]adversary.Strategy{
+		"latency-liar": adversary.NewLatencyLiar(adversary.DefaultLieFactor, adversary.DefaultWithholdDelay),
+		"withholding":  adversary.NewWithholdingRelay(adversary.DefaultWithholdDelay, adversary.DefaultNeverFraction),
+		"sybil-flood":  adversary.NewSybilFlood(adversary.DefaultSybilDials),
+		"eclipse-bias": adversary.NewEclipseBias(midRound(opt)),
+		"partition":    adversary.NewRegionalPartition(adversary.DefaultPartitionGroups, midRound(opt), adversary.DefaultPartitionFactor),
+	}
+}
+
+func loadConformance(t *testing.T) *conformanceData {
+	t.Helper()
+	confOnce.Do(func() { confData, confErr = computeConformance() })
+	if confErr != nil {
+		t.Fatal(confErr)
+	}
+	return confData
+}
+
+func computeConformance() (*conformanceData, error) {
+	d := &conformanceData{
+		subsetAttacked: make(map[string][]float64),
+		randomAttacked: make(map[string][]float64),
+		strategies:     []string{"latency-liar", "withholding", "sybil-flood", "eclipse-bias", "partition"},
+	}
+	for _, seed := range conformanceSeeds {
+		opt := conformanceOptions(seed)
+		strategies := conformanceStrategies(opt)
+		e, err := newEnv(opt, 0)
+		if err != nil {
+			return nil, err
+		}
+		arms := adversaryArms()
+		var subsetCleanSeries, vanillaCleanSeries, randomCleanSeries []float64
+		for _, arm := range arms {
+			if arm.attacked {
+				continue
+			}
+			series, err := arm.run(e, nil)
+			if err != nil {
+				return nil, err
+			}
+			switch arm.label {
+			case LabelSubset + cleanSuffix:
+				subsetCleanSeries = series
+			case LabelVanilla + cleanSuffix:
+				vanillaCleanSeries = series
+			case LabelRandom + cleanSuffix:
+				randomCleanSeries = series
+			}
+		}
+		d.subsetP90 = append(d.subsetP90, stats.Percentile(subsetCleanSeries, 0.9))
+		d.vanillaP90 = append(d.vanillaP90, stats.Percentile(vanillaCleanSeries, 0.9))
+		d.randomP90 = append(d.randomP90, stats.Percentile(randomCleanSeries, 0.9))
+		d.subsetClean = append(d.subsetClean, stats.Percentile(subsetCleanSeries, 0.5))
+		d.randomClean = append(d.randomClean, stats.Percentile(randomCleanSeries, 0.5))
+
+		for _, name := range d.strategies {
+			strat := strategies[name]
+			for _, arm := range arms {
+				if !arm.attacked || arm.label == LabelVanilla {
+					continue
+				}
+				series, err := arm.run(e, strat)
+				if err != nil {
+					return nil, err
+				}
+				med := stats.Percentile(series, 0.5)
+				switch arm.label {
+				case LabelSubset:
+					d.subsetAttacked[name] = append(d.subsetAttacked[name], med)
+				case LabelRandom:
+					d.randomAttacked[name] = append(d.randomAttacked[name], med)
+				}
+			}
+		}
+	}
+	return d, nil
+}
+
+// TestConformanceSubsetBeatsBaselinesP90 asserts Fig. 3a/5's headline
+// orderings that manifest at CI scale, each with a one-sided 95%
+// confidence bound over seeds: both learned rules (Subset, Vanilla) beat
+// the random baseline on p90 λ, and Subset never trails Vanilla by a
+// material margin (the strict Subset < Vanilla separation of Fig. 3a
+// needs the paper's 1000-node scale; the nightly full-scale run covers
+// it).
+func TestConformanceSubsetBeatsBaselinesP90(t *testing.T) {
+	if testing.Short() {
+		t.Skip("conformance suite")
+	}
+	d := loadConformance(t)
+	var subsetVsRandom, vanillaVsRandom, vanillaVsSubset []float64
+	for i := range conformanceSeeds {
+		subsetVsRandom = append(subsetVsRandom, d.randomP90[i]-d.subsetP90[i])
+		vanillaVsRandom = append(vanillaVsRandom, d.randomP90[i]-d.vanillaP90[i])
+		vanillaVsSubset = append(vanillaVsSubset, d.vanillaP90[i]-d.subsetP90[i])
+	}
+	if lb := lowerConfBound(subsetVsRandom); lb <= 0 {
+		t.Errorf("Subset does not beat Random on p90 λ: gaps %v ms (95%% lower bound %.1f)", subsetVsRandom, lb)
+	}
+	if lb := lowerConfBound(vanillaVsRandom); lb <= 0 {
+		t.Errorf("Vanilla does not beat Random on p90 λ: gaps %v ms (95%% lower bound %.1f)", vanillaVsRandom, lb)
+	}
+	// Guard, not a separation claim: Subset must not be materially worse
+	// than Vanilla (>10% of the random baseline's p90).
+	var meanRandom stats.Summary
+	for _, v := range d.randomP90 {
+		meanRandom.Add(v)
+	}
+	var meanGap stats.Summary
+	for _, v := range vanillaVsSubset {
+		meanGap.Add(v)
+	}
+	if meanGap.Mean() < -0.1*meanRandom.Mean() {
+		t.Errorf("Subset trails Vanilla materially on p90 λ: mean gap %.1f ms", meanGap.Mean())
+	}
+	t.Logf("p90 gaps (ms): subset vs random %v, vanilla vs random %v", subsetVsRandom, vanillaVsRandom)
+}
+
+// TestConformanceConvergenceNearMonotone asserts §5.2's convergence
+// claim, seed-averaged: the per-round p90-coverage trajectory improves
+// substantially and is near-monotone (strict increases on at most a
+// third of the steps).
+func TestConformanceConvergenceNearMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("conformance suite")
+	}
+	var improvements []float64
+	worstViolations := 0
+	rounds := 0
+	for _, seed := range conformanceSeeds {
+		opt := conformanceOptions(seed)
+		rounds = opt.Rounds
+		res, err := Convergence(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p90, err := res.SeriesByLabel("p90-coverage")
+		if err != nil {
+			t.Fatal(err)
+		}
+		first, last := p90.Mean[0], p90.Mean[len(p90.Mean)-1]
+		improvements = append(improvements, 100*(1-last/first))
+		if v := monotoneViolations(p90.Mean); v > worstViolations {
+			worstViolations = v
+		}
+	}
+	if lb := lowerConfBound(improvements); lb <= 5 {
+		t.Errorf("convergence improvement too small: %v%% (95%% lower bound %.1f%%)", improvements, lb)
+	}
+	if worstViolations > rounds/3 {
+		t.Errorf("trajectory not near-monotone: %d strict increases in %d rounds", worstViolations, rounds)
+	}
+	t.Logf("p90 improvement per seed: %v%%, worst monotone violations: %d", improvements, worstViolations)
+}
+
+// TestConformanceAdversariesHurtRandomMore is the robustness claim: for
+// every built-in strategy, the attack degrades the Random baseline's
+// median honest λ strictly more than Perigee-Subset's (one-sided 95%
+// confidence over seeds), and Subset stays the better topology under
+// attack.
+func TestConformanceAdversariesHurtRandomMore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("conformance suite")
+	}
+	d := loadConformance(t)
+	for _, name := range d.strategies {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			var gaps, absolute []float64
+			for i := range conformanceSeeds {
+				deltaSubset := d.subsetAttacked[name][i] - d.subsetClean[i]
+				deltaRandom := d.randomAttacked[name][i] - d.randomClean[i]
+				gaps = append(gaps, deltaRandom-deltaSubset)
+				absolute = append(absolute, d.randomAttacked[name][i]-d.subsetAttacked[name][i])
+			}
+			if lb := lowerConfBound(gaps); lb <= 0 {
+				t.Errorf("%s does not hurt Random more than Subset: Δrandom-Δsubset %v ms (95%% lower bound %.1f)",
+					name, gaps, lb)
+			}
+			if lb := lowerConfBound(absolute); lb <= 0 {
+				t.Errorf("%s: Subset loses its advantage under attack: random-subset %v ms (95%% lower bound %.1f)",
+					name, absolute, lb)
+			}
+			t.Logf("%s: Δrandom-Δsubset per seed %v ms", name, gaps)
+		})
+	}
+}

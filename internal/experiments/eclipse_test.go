@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/perigee-net/perigee/internal/core"
+)
+
+// legacyEclipseTrial reproduces one trial of the hard-coded eclipse
+// implementation this repo shipped before the adversary framework:
+// adversaries drawn from the "adversaries" stream, their validation
+// delay zeroed in place, a Subset engine seeded from "eclipse-perigee"
+// and driven by the "eclipse-engine" stream, capture measured with the
+// historical full-eclipse rule. The framework-driven Eclipse must
+// reproduce its numbers exactly.
+func legacyEclipseTrial(t *testing.T, opt Options, trial int) (randomShare, perigeeShare float64, randomEclipsed, perigeeEclipsed int) {
+	t.Helper()
+	e, err := newEnv(opt, trial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adversary := make([]bool, opt.Nodes)
+	perm := e.root.Derive("adversaries").Perm(opt.Nodes)
+	for _, v := range perm[:int(0.15*float64(opt.Nodes))] {
+		adversary[v] = true
+		e.forward[v] = 0
+	}
+	legacyCapture := func(outNeighbors func(int) []int) (float64, int) {
+		honest, share, eclipsed := 0, 0.0, 0
+		for v := 0; v < opt.Nodes; v++ {
+			if adversary[v] {
+				continue
+			}
+			honest++
+			outs := outNeighbors(v)
+			adv := 0
+			for _, u := range outs {
+				if adversary[u] {
+					adv++
+				}
+			}
+			if len(outs) > 0 {
+				share += float64(adv) / float64(len(outs))
+				if adv == len(outs) {
+					eclipsed++
+				}
+			}
+		}
+		return share / float64(honest), eclipsed
+	}
+	randTbl, err := e.buildRandom("eclipse-random")
+	if err != nil {
+		t.Fatal(err)
+	}
+	randomShare, randomEclipsed = legacyCapture(randTbl.OutNeighbors)
+
+	tbl, err := e.buildRandom("eclipse-perigee")
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := core.DefaultParams(core.Subset)
+	params.RoundBlocks = opt.RoundBlocks
+	engine, err := core.NewEngine(core.Config{
+		Method:  core.Subset,
+		Params:  params,
+		Table:   tbl,
+		Latency: e.lat,
+		Forward: e.forward,
+		Power:   e.power,
+		Rand:    e.root.Derive("eclipse-engine"),
+		Workers: opt.Workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Run(opt.Rounds); err != nil {
+		t.Fatal(err)
+	}
+	perigeeShare, perigeeEclipsed = legacyCapture(engine.Table().OutNeighbors)
+	return randomShare, perigeeShare, randomEclipsed, perigeeEclipsed
+}
+
+// TestEclipseMatchesLegacyImplementation pins the framework-driven
+// eclipse scenario to the historical hard-coded implementation for the
+// default adversary fraction: same capture shares, same eclipse counts.
+func TestEclipseMatchesLegacyImplementation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension run")
+	}
+	opt := ShortOptions()
+	opt.Nodes = 150
+	opt.Rounds = 5
+	opt.Trials = 2
+
+	var randomShare, perigeeShare float64
+	var randomEclipsed, perigeeEclipsed int
+	for trial := 0; trial < opt.Trials; trial++ {
+		rs, ps, re, pe := legacyEclipseTrial(t, opt, trial)
+		randomShare += rs / float64(opt.Trials)
+		perigeeShare += ps / float64(opt.Trials)
+		randomEclipsed += re
+		perigeeEclipsed += pe
+	}
+
+	res, err := Eclipse(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRandom := fmt.Sprintf("random topology: adversaries hold %.0f%% of honest out-slots; %d honest nodes eclipsed",
+		100*randomShare, randomEclipsed)
+	wantPerigee := fmt.Sprintf("Perigee topology: adversaries hold %.0f%% of honest out-slots; %d honest nodes eclipsed",
+		100*perigeeShare, perigeeEclipsed)
+	if res.Notes[0] != wantRandom {
+		t.Errorf("random capture diverged from legacy implementation:\n got  %q\n want %q", res.Notes[0], wantRandom)
+	}
+	if res.Notes[1] != wantPerigee {
+		t.Errorf("Perigee capture diverged from legacy implementation:\n got  %q\n want %q", res.Notes[1], wantPerigee)
+	}
+}
+
+func TestEclipseHonorsOptionFraction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension run")
+	}
+	opt := ShortOptions()
+	opt.Nodes = 120
+	opt.Rounds = 3
+	opt.AdversaryFraction = 0.3
+	res, err := Eclipse(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "capture by 30% instant-validation adversaries"; !strings.Contains(res.Title, want) {
+		t.Errorf("title %q does not reflect the configured fraction", res.Title)
+	}
+}
+
+func TestOptionsAdversaryValidation(t *testing.T) {
+	opt := ShortOptions()
+	opt.AdversaryFraction = 1
+	if err := opt.validate(); err == nil {
+		t.Error("adversary fraction 1 accepted")
+	}
+	opt = ShortOptions()
+	opt.AdversaryFraction = -0.1
+	if err := opt.validate(); err == nil {
+		t.Error("negative adversary fraction accepted")
+	}
+	opt = ShortOptions()
+	opt.CaptureThreshold = 1.5
+	if err := opt.validate(); err == nil {
+		t.Error("capture threshold above 1 accepted")
+	}
+	opt = ShortOptions()
+	if got := opt.adversaryFraction(); got != defaultAdversaryFraction {
+		t.Errorf("zero fraction resolves to %v, want %v", got, defaultAdversaryFraction)
+	}
+	if got := opt.captureThreshold(); got != 1 {
+		t.Errorf("zero threshold resolves to %v, want 1", got)
+	}
+}
+
+func TestCaptureStatsEdgeCases(t *testing.T) {
+	outs := map[int][]int{0: {1, 2}, 1: {0, 2}, 2: {0, 1}, 3: nil}
+	neighbors := func(v int) []int { return outs[v] }
+
+	t.Run("zero adversaries", func(t *testing.T) {
+		share, eclipsed := captureStats(neighbors, 4, make([]bool, 4), 1)
+		if share != 0 || eclipsed != 0 {
+			t.Errorf("share %v eclipsed %d, want 0/0", share, eclipsed)
+		}
+	})
+	t.Run("all adversaries", func(t *testing.T) {
+		share, eclipsed := captureStats(neighbors, 4, []bool{true, true, true, true}, 1)
+		if share != 0 || eclipsed != 0 {
+			t.Errorf("no honest nodes: share %v eclipsed %d, want 0/0", share, eclipsed)
+		}
+	})
+	t.Run("isolated node", func(t *testing.T) {
+		// Node 3 has no outgoing slots: it still counts toward the mean's
+		// denominator (holding zero adversarial slots), but it can never
+		// be eclipsed.
+		share, eclipsed := captureStats(neighbors, 4, []bool{false, true, true, false}, 1)
+		// Honest nodes: 0 (2/2 adversarial) and 3 (isolated, share 0) →
+		// mean (1.0 + 0) / 2.
+		if want := 0.5; share != want {
+			t.Errorf("share %v, want %v", share, want)
+		}
+		if eclipsed != 1 {
+			t.Errorf("eclipsed %d, want 1 (node 0 fully captured; isolated node cannot be)", eclipsed)
+		}
+	})
+	t.Run("threshold", func(t *testing.T) {
+		// Node 0's slots are 1/2 adversarial: eclipsed at threshold 0.5,
+		// not at 1.
+		mask := []bool{false, true, false, false}
+		if _, eclipsed := captureStats(neighbors, 4, mask, 1); eclipsed != 0 {
+			t.Errorf("threshold 1: eclipsed %d, want 0", eclipsed)
+		}
+		if _, eclipsed := captureStats(neighbors, 4, mask, 0.5); eclipsed != 2 {
+			// Nodes 0 and 2 each have exactly half their slots adversarial.
+			t.Errorf("threshold 0.5: eclipsed %d, want 2", eclipsed)
+		}
+	})
+}
+
+// TestAdversarialScenarioShape exercises the generic adversarial runner
+// end to end at a tiny scale: six series (three attacked, three clean)
+// over the same honest population, plus degradation notes.
+func TestAdversarialScenarioShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("adversarial run")
+	}
+	opt := ShortOptions()
+	opt.Nodes = 60
+	opt.Rounds = 3
+	opt.RoundBlocks = 20
+	res, err := Run("adversary-withholding", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 6 {
+		t.Fatalf("got %d series, want 6", len(res.Series))
+	}
+	honest := opt.Nodes - int(defaultAdversaryFraction*float64(opt.Nodes))
+	for _, s := range res.Series {
+		if len(s.Mean) != honest {
+			t.Errorf("series %s covers %d nodes, want %d honest", s.Label, len(s.Mean), honest)
+		}
+	}
+	if _, ok := adversaryDegradations(res); !ok {
+		t.Error("degradations not derivable from result")
+	}
+	if len(res.Notes) != 4 {
+		t.Errorf("got %d notes: %v", len(res.Notes), res.Notes)
+	}
+}
+
+// TestAdversarialDeterministicAcrossWorkers pins the adversarial runner
+// to the repo-wide reproducibility contract: identical results at any
+// worker count.
+func TestAdversarialDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("adversarial run")
+	}
+	opt := ShortOptions()
+	opt.Nodes = 50
+	opt.Rounds = 2
+	opt.RoundBlocks = 10
+	run := func(workers int) *Result {
+		o := opt
+		o.Workers = workers
+		res, err := Run("adversary-latency-liar", o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(8)
+	for i := range a.Series {
+		for j := range a.Series[i].Mean {
+			if a.Series[i].Mean[j] != b.Series[i].Mean[j] {
+				t.Fatalf("series %s rank %d differs across worker counts: %v vs %v",
+					a.Series[i].Label, j, a.Series[i].Mean[j], b.Series[i].Mean[j])
+			}
+		}
+	}
+}

@@ -51,8 +51,9 @@ func TestOptionsValidation(t *testing.T) {
 
 func TestIDsAndDescribe(t *testing.T) {
 	ids := IDs()
-	// 9 paper figures/theorems + 5 extensions + the ablation sweeps.
-	if want := 14 + len(Ablations()); len(ids) != want {
+	// 9 paper figures/theorems + 5 extensions + the adversary strategies
+	// + the ablation sweeps.
+	if want := 14 + len(adversaryScenarios()) + len(Ablations()); len(ids) != want {
 		t.Fatalf("got %d experiment IDs, want %d: %v", len(ids), want, ids)
 	}
 	for _, id := range ids {

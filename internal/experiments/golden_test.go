@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden scenario renderings")
+
+// goldenScenarios are the renderer shapes pinned by committed golden
+// files: a figure (series + notes), the eclipse capture report
+// (notes-only), a histogram result, and an adversarial comparison (six
+// series + degradation notes).
+var goldenScenarios = []string{"figure1", "figure5", "eclipse", "adversary-withholding"}
+
+// goldenOptions is a deliberately tiny, fixed configuration: golden
+// files pin the rendering contract and the seeded numerics, not
+// paper-scale results.
+func goldenOptions() Options {
+	return Options{
+		Nodes:          60,
+		Trials:         1,
+		Rounds:         3,
+		RoundBlocks:    15,
+		Fraction:       0.9,
+		Seed:           7,
+		MeanValidation: 50 * time.Millisecond,
+	}
+}
+
+// goldenTolerance is the relative tolerance for numeric comparisons —
+// wide enough to absorb cross-platform libm drift in the geographic
+// model, tight enough that any logic change trips it.
+const goldenTolerance = 1e-6
+
+// TestGoldenScenarioJSON renders each pinned scenario to JSON and
+// compares it against the committed golden file with numeric tolerance.
+// Regenerate with:
+//
+//	go test ./internal/experiments -run TestGoldenScenarioJSON -update
+func TestGoldenScenarioJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden scenario runs")
+	}
+	for _, id := range goldenScenarios {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(id, goldenOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", "golden", id+".json")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			var gotDoc, wantDoc any
+			if err := json.Unmarshal(got, &gotDoc); err != nil {
+				t.Fatal(err)
+			}
+			if err := json.Unmarshal(want, &wantDoc); err != nil {
+				t.Fatalf("golden file %s corrupt: %v", path, err)
+			}
+			if err := compareJSON(wantDoc, gotDoc, "$"); err != nil {
+				t.Errorf("rendered JSON diverges from %s:\n%v", path, err)
+			}
+		})
+	}
+}
+
+// compareJSON walks two decoded JSON documents, requiring identical
+// structure, exact non-numeric equality, and numeric equality within
+// goldenTolerance (relative, with an absolute floor for values near
+// zero).
+func compareJSON(want, got any, path string) error {
+	switch w := want.(type) {
+	case map[string]any:
+		g, ok := got.(map[string]any)
+		if !ok {
+			return fmt.Errorf("%s: want object, got %T", path, got)
+		}
+		if len(w) != len(g) {
+			return fmt.Errorf("%s: object has %d keys, want %d", path, len(g), len(w))
+		}
+		for k, wv := range w {
+			gv, ok := g[k]
+			if !ok {
+				return fmt.Errorf("%s: missing key %q", path, k)
+			}
+			if err := compareJSON(wv, gv, path+"."+k); err != nil {
+				return err
+			}
+		}
+	case []any:
+		g, ok := got.([]any)
+		if !ok {
+			return fmt.Errorf("%s: want array, got %T", path, got)
+		}
+		if len(w) != len(g) {
+			return fmt.Errorf("%s: array has %d elements, want %d", path, len(g), len(w))
+		}
+		for i := range w {
+			if err := compareJSON(w[i], g[i], fmt.Sprintf("%s[%d]", path, i)); err != nil {
+				return err
+			}
+		}
+	case float64:
+		g, ok := got.(float64)
+		if !ok {
+			return fmt.Errorf("%s: want number, got %T", path, got)
+		}
+		diff := math.Abs(g - w)
+		scale := math.Max(math.Abs(w), math.Abs(g))
+		if diff > goldenTolerance*math.Max(scale, 1) {
+			return fmt.Errorf("%s: %v differs from golden %v beyond tolerance", path, g, w)
+		}
+	case string:
+		// Rendered strings embed rounded numbers; float drift below the
+		// numeric tolerance can still flip a rounded digit, so note/title
+		// strings are compared only for presence and rough shape via
+		// structure — exact match is still required here because the same
+		// seeded run produced them; loosen per-field if a platform ever
+		// disagrees.
+		if got != want {
+			return fmt.Errorf("%s: %q differs from golden %q", path, got, want)
+		}
+	default:
+		if got != want {
+			return fmt.Errorf("%s: %v differs from golden %v", path, got, want)
+		}
+	}
+	return nil
+}

@@ -46,6 +46,16 @@ type Options struct {
 	MeanValidation time.Duration
 	// Validation selects how per-node validation delays are drawn.
 	Validation ValidationModel
+	// AdversaryFraction is the population share under adversary control in
+	// the adversarial scenarios (eclipse and the adversary-* family). Zero
+	// means the historical default of 0.15; explicit values must lie in
+	// (0, 1).
+	AdversaryFraction float64
+	// CaptureThreshold is the adversarial out-slot share at which an
+	// honest node counts as eclipsed in the capture statistics. Zero means
+	// the historical default of 1 (every outgoing slot adversarial);
+	// explicit values must lie in (0, 1].
+	CaptureThreshold float64
 	// Workers bounds the goroutines used to run trials and algorithm arms
 	// concurrently, and is forwarded to every protocol engine for in-round
 	// broadcast parallelism. Zero (or negative) means one worker per
@@ -120,7 +130,31 @@ func (o Options) validate() error {
 	if o.MeanValidation < 0 {
 		return fmt.Errorf("experiments: negative validation delay %v", o.MeanValidation)
 	}
+	if o.AdversaryFraction < 0 || o.AdversaryFraction >= 1 {
+		return fmt.Errorf("experiments: adversary fraction %v outside [0, 1)", o.AdversaryFraction)
+	}
+	if o.CaptureThreshold < 0 || o.CaptureThreshold > 1 {
+		return fmt.Errorf("experiments: capture threshold %v outside [0, 1]", o.CaptureThreshold)
+	}
 	return nil
+}
+
+// adversaryFraction resolves the adversary share, mapping the zero value
+// to the historical eclipse default.
+func (o Options) adversaryFraction() float64 {
+	if o.AdversaryFraction == 0 {
+		return defaultAdversaryFraction
+	}
+	return o.AdversaryFraction
+}
+
+// captureThreshold resolves the eclipse capture threshold, mapping the
+// zero value to the historical "every slot adversarial" rule.
+func (o Options) captureThreshold() float64 {
+	if o.CaptureThreshold == 0 {
+		return 1
+	}
+	return o.CaptureThreshold
 }
 
 // Series is one curve of a figure: per-node-rank delays (ms, ascending)

@@ -81,6 +81,12 @@ func builtinScenarios() map[string]Scenario {
 	add("eclipse", "neighborhood capture by fast adversaries vs exploration", Eclipse)
 	add("convergence", "per-round 90%/50% coverage delay trajectories (§5.2)", Convergence)
 
+	// Pluggable adversary strategies (internal/adversary), one scenario
+	// each: honest-node λ for Subset/Vanilla/Random under attack vs clean.
+	for _, s := range adversaryScenarios() {
+		reg[s.ID] = s
+	}
+
 	for _, ab := range Ablations() {
 		ab := ab
 		add(ab.ID, ab.Title, func(opt Options) (*Result, error) { return RunAblation(opt, ab) })

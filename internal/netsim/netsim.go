@@ -70,6 +70,15 @@ type Config struct {
 	// Perigee the incentive experiments measure). A silent source still
 	// announces its own blocks.
 	Silent []bool
+	// RelayDelay, if non-nil, adds a per-node withholding delay on top of
+	// Forward before a received block is relayed onward — the adversarial
+	// "accept but forward late" behavior (a WithholdingRelay strategy), kept
+	// separate from Forward so honest validation time and deliberate
+	// withholding stay independently configurable. Like Forward, it does not
+	// apply to a node announcing its own block. The slice is read live at
+	// broadcast time, so mid-run mutation (an adversary switching behavior
+	// between rounds) takes effect without rebuilding the simulator.
+	RelayDelay []time.Duration
 }
 
 // Simulator holds the immutable-between-reconfigurations topology of one
@@ -201,6 +210,16 @@ func validateShape(cfg Config) error {
 	}
 	if cfg.Silent != nil && len(cfg.Silent) != n {
 		return fmt.Errorf("netsim: silent mask covers %d nodes, want %d", len(cfg.Silent), n)
+	}
+	if cfg.RelayDelay != nil {
+		if len(cfg.RelayDelay) != n {
+			return fmt.Errorf("netsim: relay delays cover %d nodes, want %d", len(cfg.RelayDelay), n)
+		}
+		for v, d := range cfg.RelayDelay {
+			if d < 0 {
+				return fmt.Errorf("netsim: node %d has negative relay delay %v", v, d)
+			}
+		}
 	}
 	return nil
 }
@@ -398,7 +417,7 @@ func (b *Broadcaster) forward(v int32, at time.Duration) {
 // that node's own forwarding.
 func (b *Broadcaster) run() {
 	s := b.sim
-	silent, fwd := s.cfg.Silent, s.cfg.Forward
+	silent, fwd, relay := s.cfg.Silent, s.cfg.Forward, s.cfg.RelayDelay
 	for b.queue.Len() > 0 {
 		d := b.queue.PopMin()
 		idx := s.rowStart[d.Node] + d.Slot
@@ -408,7 +427,11 @@ func (b *Broadcaster) run() {
 		if b.arrival[d.Node] == stats.InfDuration {
 			b.arrival[d.Node] = d.At
 			if silent == nil || !silent[d.Node] {
-				b.forward(d.Node, d.At+fwd[d.Node])
+				depart := d.At + fwd[d.Node]
+				if relay != nil {
+					depart += relay[d.Node]
+				}
+				b.forward(d.Node, depart)
 			}
 		}
 	}
@@ -495,7 +518,7 @@ func (s *Simulator) ArrivalAnalyticInto(dst []time.Duration, source int) ([]time
 		dist[i] = stats.InfDuration
 	}
 	dist[source] = 0
-	silent, fwd := s.cfg.Silent, s.cfg.Forward
+	silent, fwd, relay := s.cfg.Silent, s.cfg.Forward, s.cfg.RelayDelay
 	sc := dijkstraPool.Get().(*dijkstraScratch)
 	sc.heap = sc.heap[:0]
 	sc.push(dijkstraItem{d: 0, v: int32(source)})
@@ -513,6 +536,9 @@ func (s *Simulator) ArrivalAnalyticInto(dst []time.Duration, source int) ([]time
 		depart := it.d
 		if int(v) != source {
 			depart += fwd[v]
+			if relay != nil {
+				depart += relay[v]
+			}
 		}
 		for e := s.rowStart[v]; e < s.rowStart[v+1]; e++ {
 			w := s.edgeDst[e]

@@ -1,0 +1,48 @@
+package p2p
+
+import (
+	"testing"
+	"time"
+
+	"github.com/perigee-net/perigee/internal/chain"
+)
+
+// TestSilentRelayCoversUnstashedOrphans: adversarial relay behavior must
+// apply to received blocks accepted out of order. A silent node that
+// stores a child as an orphan and later unstashes it when the parent
+// arrives is still relaying a *received* block — it must stay silent,
+// exactly as it does for blocks accepted in order.
+func TestSilentRelayCoversUnstashedOrphans(t *testing.T) {
+	adv := startNode(t, 1, func(c *Config) { c.SilentRelay = true })
+	victim := startNode(t, 2, nil)
+	if err := victim.Connect(adv.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	genesis := testGenesis()
+	parent := chain.NewBlock(genesis, [][]byte{[]byte("p")}, time.Unix(1700000000, 0), 1)
+	child := chain.NewBlock(parent, [][]byte{[]byte("c")}, time.Unix(1700000001, 0), 2)
+
+	// Out-of-order arrival from the network (from == nil, mined == false —
+	// the unstash path): child first (stashed as orphan), then parent
+	// (accepting it re-accepts the child).
+	adv.acceptBlock(nil, child, false)
+	adv.acceptBlock(nil, parent, false)
+	waitFor(t, "both blocks stored at adversary", 2*time.Second, func() bool {
+		return adv.Store().Has(parent.Header.Hash()) && adv.Store().Has(child.Header.Hash())
+	})
+
+	time.Sleep(200 * time.Millisecond)
+	if victim.Store().Has(parent.Header.Hash()) || victim.Store().Has(child.Header.Hash()) {
+		t.Fatal("silent adversary relayed a received block through the orphan-unstash path")
+	}
+
+	// The node's own blocks are still announced immediately.
+	mined, err := adv.MineBlock([][]byte{[]byte("own")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "self-mined block at victim", 2*time.Second, func() bool {
+		return victim.Store().Has(mined.Header.Hash())
+	})
+}

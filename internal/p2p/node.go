@@ -59,6 +59,19 @@ type Config struct {
 	// apply before every message sent to the given remote node — latency
 	// injection for single-machine experiments.
 	PeerDelay func(remoteID uint64) time.Duration
+	// SilentRelay makes the node a free-rider: received blocks are stored
+	// but never relayed (self-mined blocks are still announced) — the live
+	// form of the simulator's Silent mask.
+	SilentRelay bool
+	// RelayDelay withholds every relay of a received block by the given
+	// duration before announcing it onward (self-mined blocks are
+	// announced immediately) — the live form of the simulator's RelayDelay
+	// table.
+	RelayDelay time.Duration
+	// Frozen disables the neighbor-update protocol: Perigee rounds still
+	// reset the observation window and report, but keep every outbound
+	// peer and dial nothing.
+	Frozen bool
 	// HandshakeTimeout bounds the version exchange (default 5s).
 	HandshakeTimeout time.Duration
 	// Logf, when non-nil, receives diagnostic log lines.
@@ -94,6 +107,9 @@ func (c *Config) applyDefaults() error {
 	if c.RoundBlocks < 0 {
 		return fmt.Errorf("p2p: round blocks %d must be non-negative", c.RoundBlocks)
 	}
+	if c.RelayDelay < 0 {
+		return fmt.Errorf("p2p: negative relay delay %v", c.RelayDelay)
+	}
 	if c.HandshakeTimeout == 0 {
 		c.HandshakeTimeout = 5 * time.Second
 	} else if c.HandshakeTimeout < 0 {
@@ -117,6 +133,7 @@ type Node struct {
 	peers    map[uint64]*peer
 	listener net.Listener
 	closed   bool
+	quit     chan struct{} // closed by Stop; wakes delayed-relay timers
 
 	obsMu     sync.Mutex
 	firstSeen map[chain.Hash]map[uint64]time.Time
@@ -169,6 +186,7 @@ func NewNode(cfg Config) (*Node, error) {
 		selector:  selector,
 		selRand:   rng.New(cfg.Seed).Derive("p2p-selector"),
 		peers:     make(map[uint64]*peer),
+		quit:      make(chan struct{}),
 		firstSeen: make(map[chain.Hash]map[uint64]time.Time),
 		requested: make(map[chain.Hash]time.Time),
 		orphans:   make(map[chain.Hash][]*chain.Block),
@@ -519,12 +537,15 @@ func (n *Node) handleGetAddr(p *peer) {
 func (n *Node) handleBlock(p *peer, b *chain.Block) {
 	h := b.Header.Hash()
 	n.recordSeen(p.id, h, time.Now())
-	n.acceptBlock(p, b)
+	n.acceptBlock(p, b, false)
 }
 
 // acceptBlock validates, stores, relays, and unstashes orphans. from may
-// be nil for self-mined blocks.
-func (n *Node) acceptBlock(from *peer, b *chain.Block) {
+// be nil for self-mined blocks and unstashed orphans; mined distinguishes
+// the two, because adversarial relay behavior (SilentRelay, RelayDelay)
+// applies to every received block — including an orphan accepted after
+// its parent arrives — but never to the node's own blocks.
+func (n *Node) acceptBlock(from *peer, b *chain.Block, mined bool) {
 	h := b.Header.Hash()
 	if n.store.Has(h) {
 		return
@@ -556,16 +577,52 @@ func (n *Node) acceptBlock(from *peer, b *chain.Block) {
 	delete(n.orphans, h)
 	n.obsMu.Unlock()
 
-	// Relay to everyone except the sender (they have it).
+	// Relay to everyone except the sender (they have it), applying any
+	// configured adversarial relay behavior to received blocks.
 	var fromID uint64
 	if from != nil {
 		fromID = from.id
 	}
-	n.broadcastInv(h, fromID)
+	n.relayInv(h, fromID, !mined)
 	for _, orphan := range pending {
-		n.acceptBlock(nil, orphan)
+		n.acceptBlock(nil, orphan, false)
 	}
 	n.maybeAutoRound()
+}
+
+// relayInv announces a block to all peers except the sender, applying
+// the node's adversarial relay behavior when the block was received
+// rather than self-mined: a silent relay suppresses the announcement, a
+// withholding relay delays it. Self-mined blocks always go out
+// immediately — a silent source still announces its own blocks, matching
+// the simulator's semantics.
+func (n *Node) relayInv(h chain.Hash, exceptID uint64, relayed bool) {
+	if relayed && n.cfg.SilentRelay {
+		return
+	}
+	if !relayed || n.cfg.RelayDelay <= 0 {
+		n.broadcastInv(h, exceptID)
+		return
+	}
+	// Serialize the Add against Stop's closed flag so the waiter never
+	// races a fresh goroutine.
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.wg.Add(1)
+	n.mu.Unlock()
+	go func() {
+		defer n.wg.Done()
+		timer := time.NewTimer(n.cfg.RelayDelay)
+		defer timer.Stop()
+		select {
+		case <-n.quit:
+		case <-timer.C:
+			n.broadcastInv(h, exceptID)
+		}
+	}()
 }
 
 func (n *Node) broadcastInv(h chain.Hash, exceptID uint64) {
@@ -597,7 +654,7 @@ func (n *Node) MineBlock(txs [][]byte) (*chain.Block, error) {
 	}
 	n.mu.Unlock()
 	b := chain.NewBlock(n.store.Tip(), txs, time.Now(), n.randUint64())
-	n.acceptBlock(nil, b)
+	n.acceptBlock(nil, b, true)
 	if !n.store.Has(b.Header.Hash()) {
 		return nil, fmt.Errorf("p2p: mined block rejected")
 	}
@@ -695,6 +752,19 @@ func (n *Node) PerigeeRound() (RoundReport, error) {
 	n.obsMu.Unlock()
 	report.Round = round
 	report.BlocksScored = len(blocks)
+
+	if n.cfg.Frozen {
+		// Protocol-deviant node: the observation window resets and the
+		// round is reported, but every outbound peer is kept and nothing
+		// is dialed.
+		for _, p := range outbound {
+			report.Kept = append(report.Kept, p.id)
+		}
+		if n.cfg.OnRound != nil {
+			n.cfg.OnRound(report)
+		}
+		return report, nil
+	}
 
 	decision, err := core.Decide(n.selector, core.NeighborView{
 		Node:       int(n.cfg.NodeID),
@@ -836,6 +906,7 @@ func (n *Node) Stop() {
 		return
 	}
 	n.closed = true
+	close(n.quit)
 	ln := n.listener
 	peers := make([]*peer, 0, len(n.peers))
 	for _, p := range n.peers {

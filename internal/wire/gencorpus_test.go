@@ -1,0 +1,52 @@
+package wire
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenerateSeedCorpus(t *testing.T) {
+	if os.Getenv("WIRE_GEN_CORPUS") == "" {
+		t.Skip("corpus generator")
+	}
+	writeCorpus := func(dir, name, body string) {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	decodeDir := filepath.Join("testdata", "fuzz", "FuzzDecode")
+	payloadDir := filepath.Join("testdata", "fuzz", "FuzzDecodePayload")
+	for _, m := range fuzzSeedMessages() {
+		framed := frame(t, m)
+		writeCorpus(decodeDir, "seed-"+m.Type().String(),
+			fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", framed))
+		payload, err := m.encodePayload(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		writeCorpus(payloadDir, "seed-"+m.Type().String(),
+			fmt.Sprintf("go test fuzz v1\nbyte(%#02x)\n[]byte(%q)\n", byte(m.Type()), payload))
+	}
+	valid := frame(t, &Ping{Nonce: 99})
+	bad := append([]byte(nil), valid...)
+	bad[0] ^= 0xFF
+	flip := append([]byte(nil), valid...)
+	flip[len(flip)-1] ^= 0x01
+	malformed := map[string][]byte{
+		"seed-short-header":  valid[:5],
+		"seed-bad-magic":     bad,
+		"seed-truncated":     valid[:len(valid)-3],
+		"seed-bad-checksum":  flip,
+		"seed-empty":         {},
+		"seed-unknown-type":  {0x49, 0x47, 0x52, 0x50, 0xFF, 0, 0, 0, 0, 0, 0, 0, 0},
+		"seed-declared-huge": {0x49, 0x47, 0x52, 0x50, 0x05, 0xFF, 0xFF, 0xFF, 0x7F, 0, 0, 0, 0},
+	}
+	for name, data := range malformed {
+		writeCorpus(decodeDir, name, fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data))
+	}
+}

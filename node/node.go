@@ -127,7 +127,7 @@ func New(opts ...Option) (*Node, error) {
 		mineRand:  rng.New(s.seed).Derive("mining"),
 		stopCh:    make(chan struct{}),
 	}
-	inner, err := p2p.NewNode(p2p.Config{
+	cfg := p2p.Config{
 		NodeID:           s.nodeID,
 		Seed:             s.seed,
 		ListenAddr:       s.listen,
@@ -142,12 +142,47 @@ func New(opts ...Option) (*Node, error) {
 		PeerDelay:        s.peerDelay,
 		HandshakeTimeout: s.handshake,
 		Logf:             s.logf,
-	})
+	}
+	if s.adversary != nil {
+		if err := applyAdversary(&cfg, s.adversary, s.seed); err != nil {
+			return nil, err
+		}
+	}
+	inner, err := p2p.NewNode(cfg)
 	if err != nil {
 		return nil, err
 	}
 	n.p = inner
 	return n, nil
+}
+
+// applyAdversary binds an attack strategy to this single live identity:
+// Setup runs over a one-node environment (the node is adversary index 0)
+// and the resulting behavior tables map onto the live driver — Silent,
+// RelayDelay, and Frozen. Environment-level hooks (observation tampering,
+// the per-round topology agent) are simulation-only and ignored here;
+// strategies demanding a tamperable latency model fail Setup, surfacing
+// the mismatch at build time.
+func applyAdversary(cfg *p2p.Config, a perigee.Adversary, seed uint64) error {
+	env := &perigee.AdversaryEnv{
+		N:           1,
+		Adversaries: []int{0},
+		IsAdversary: []bool{true},
+		Rand:        rng.New(seed).Derive("adversary"),
+	}
+	behavior := &perigee.AdversaryNetwork{
+		Forward:    make([]time.Duration, 1),
+		Silent:     make([]bool, 1),
+		RelayDelay: make([]time.Duration, 1),
+		Frozen:     make([]bool, 1),
+	}
+	if _, err := a.Setup(env, behavior); err != nil {
+		return fmt.Errorf("node: adversary %s: %w", a.Name(), err)
+	}
+	cfg.SilentRelay = behavior.Silent[0]
+	cfg.RelayDelay = behavior.RelayDelay[0]
+	cfg.Frozen = behavior.Frozen[0]
+	return nil
 }
 
 // Start begins listening (when configured), accepting connections, and

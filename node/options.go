@@ -38,6 +38,7 @@ type settings struct {
 	mine      time.Duration
 	handshake time.Duration
 	logf      func(format string, args ...any)
+	adversary perigee.Adversary
 }
 
 func defaultSettings() *settings {
@@ -230,6 +231,27 @@ func WithMiner(mean time.Duration) Option {
 			return fmt.Errorf("node: mining interval %v must be positive", mean)
 		}
 		s.mine = mean
+		return nil
+	}
+}
+
+// WithAdversary runs this node as one compromised identity of the given
+// attack strategy — the same perigee.Adversary values that drive the
+// simulator via perigee.WithAdversary. The strategy's Setup is invoked
+// for a single-node environment and its behavioral verdict is applied to
+// the node: Silent (received blocks are never relayed), RelayDelay
+// (relays are withheld before going out), and Frozen (the neighbor-update
+// protocol is disabled). Environment-level hooks — observation tampering
+// and the per-round topology agent — act on victims and global state a
+// single live identity cannot reach, so they apply only in simulation;
+// strategies that need a tamperable latency model (RegionalPartition)
+// are rejected here.
+func WithAdversary(a perigee.Adversary) Option {
+	return func(s *settings) error {
+		if a == nil {
+			return fmt.Errorf("node: nil adversary strategy")
+		}
+		s.adversary = a
 		return nil
 	}
 }

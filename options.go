@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/perigee-net/perigee/internal/adversary"
 	"github.com/perigee-net/perigee/internal/core"
 	"github.com/perigee-net/perigee/internal/rng"
 )
@@ -30,13 +31,15 @@ type settings struct {
 	percentile     float64
 	workers        int
 
-	selector   Selector
-	latency    LatencyModel
-	power      PowerDist
-	validation ValidationDist
-	seeder     TopologySeeder
-	dynamics   Dynamics
-	observers  []Observer
+	selector      Selector
+	latency       LatencyModel
+	power         PowerDist
+	validation    ValidationDist
+	seeder        TopologySeeder
+	dynamics      Dynamics
+	observers     []Observer
+	adversary     Adversary
+	adversaryFrac float64
 }
 
 func defaultSettings() *settings {
@@ -370,6 +373,20 @@ func New(nodes int, opts ...Option) (*Network, error) {
 	if s.dynamics != nil {
 		cfg.Dynamics = &dynamicsBridge{net: net}
 		net.dynRand = root.Derive("dynamics")
+	}
+	if s.adversary != nil {
+		advs, err := adversary.Sample(nodes, s.adversaryFrac, root.Derive("adversary"))
+		if err != nil {
+			return nil, fmt.Errorf("perigee: sampling adversaries: %w", err)
+		}
+		bind, err := adversary.Bind(s.adversary, nodes, advs, lat, forward, root.Derive("adversary-strategy"))
+		if err != nil {
+			return nil, fmt.Errorf("perigee: adversary %s: %w", s.adversary.Name(), err)
+		}
+		// The binding owns the behavior tables and chains its per-round
+		// agent after any user dynamics already configured.
+		bind.Apply(&cfg)
+		net.adversaryEnv = bind.Env
 	}
 	engine, err := core.NewEngine(cfg)
 	if err != nil {

@@ -42,6 +42,20 @@
 // RoundStats telemetry — one policy and one observer pipeline for both
 // environments, so strategies validated in simulation deploy unchanged.
 //
+// # Adversaries
+//
+// Attack strategies are pluggable values too: an Adversary binds to a run
+// through WithAdversary, rewriting the behavior of the nodes it controls
+// (validation delay, free-riding, withholding, protocol deviation, link
+// tampering) and optionally tampering with observations or pressing on
+// the topology every round. Five strategies are built in
+// (LatencyLiarAdversary, WithholdingRelayAdversary, SybilFloodAdversary,
+// EclipseBiasAdversary, RegionalPartitionAdversary), each registered as
+// an adversary-* scenario; custom strategies are ~30 lines against
+// public types — see the Adversary docs and examples/customadversary.
+// The same value runs a live TCP node as a compromised identity via
+// node.WithAdversary.
+//
 // # Scenarios
 //
 // The reproductions of the paper's figures, the §6 extension studies, and
@@ -245,11 +259,12 @@ func applyDefaults(cfg *Config) error {
 
 // Network is a simulated p2p network running the Perigee protocol.
 type Network struct {
-	scoring   Scoring
-	engine    *core.Engine
-	observers []Observer
-	dynamics  Dynamics
-	dynRand   *Rand
+	scoring      Scoring
+	engine       *core.Engine
+	observers    []Observer
+	dynamics     Dynamics
+	dynRand      *Rand
+	adversaryEnv *AdversaryEnv
 }
 
 // RoundSummary reports one protocol round.
