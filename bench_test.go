@@ -162,6 +162,13 @@ func BenchmarkMicroBroadcast1000(b *testing.B) { bench.MicroBroadcast(1000)(b) }
 // evaluations run at).
 func BenchmarkMicroBroadcast10000(b *testing.B) { bench.MicroBroadcast(10000)(b) }
 
+// BenchmarkMicroBroadcast100000 is the million-node-track target: one
+// broadcast over a 100k-node network, which crosses the streaming-latency
+// threshold so edge delays are computed on the fly instead of precomputed.
+// Run it with a small -benchtime (e.g. -benchtime=3x); a single op is a
+// full 100k-node flood.
+func BenchmarkMicroBroadcast100000(b *testing.B) { bench.MicroBroadcast(100000)(b) }
+
 // BenchmarkMicroAnalyticArrival1000 measures the pooled Dijkstra-based
 // arrival computation used by the λ_v metric.
 func BenchmarkMicroAnalyticArrival1000(b *testing.B) { bench.MicroAnalyticArrival(1000)(b) }

@@ -10,7 +10,14 @@
 //
 // Usage:
 //
-//	perigee-bench [-out BENCH_PR4.json] [-filter Broadcast] [-set-baseline] [-list]
+//	perigee-bench [-out BENCH_PR6.json] [-filter Broadcast] [-set-baseline] [-list]
+//	perigee-bench -out BENCH_PR6.json -diff BENCH_PR4.json -max-regress 0.20
+//
+// With -diff, the freshly measured results are compared against the named
+// report's results section: the run fails if any shared case regresses by
+// more than -max-regress in ns/op, or allocates more per op than before.
+// Allocation counts are machine-independent, so the alloc gate is exact;
+// the ns/op tolerance absorbs machine-to-machine noise.
 package main
 
 import (
@@ -42,6 +49,10 @@ type Report struct {
 	GoOS       string `json:"goos"`
 	GoArch     string `json:"goarch"`
 	GoMaxProcs int    `json:"gomaxprocs"`
+	// Notes carries free-form, hand-written context about the report
+	// (measurement environment, known caveats); like Baseline it is
+	// preserved from an existing output file, never generated.
+	Notes []string `json:"notes,omitempty"`
 	// Baseline holds the pre-change numbers a PR measures before touching
 	// the hot path; see -set-baseline.
 	Baseline []CaseResult `json:"baseline,omitempty"`
@@ -49,10 +60,12 @@ type Report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR4.json", "output JSON path; an existing file's baseline section is preserved")
+	out := flag.String("out", "BENCH_PR6.json", "output JSON path; an existing file's baseline section is preserved")
 	filter := flag.String("filter", "", "only run cases whose name contains this substring")
 	setBaseline := flag.Bool("set-baseline", false, "store this run as the baseline section too (first run of a PR)")
 	list := flag.Bool("list", false, "list case names and exit")
+	diff := flag.String("diff", "", "compare this run against the results section of another report and fail on regression")
+	maxRegress := flag.Float64("max-regress", 0.20, "ns/op regression tolerance for -diff (0.20 = +20%)")
 	flag.Parse()
 
 	cases := bench.MicroCases()
@@ -74,6 +87,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "perigee-bench: existing %s is not a bench report: %v\n", *out, err)
 			os.Exit(1)
 		}
+		report.Notes = old.Notes
 		report.Baseline = old.Baseline
 	}
 
@@ -105,6 +119,12 @@ func main() {
 	if *setBaseline {
 		report.Baseline = report.Results
 	}
+	if *diff != "" {
+		if err := diffReports(*diff, report.Results, *maxRegress); err != nil {
+			fmt.Fprintf(os.Stderr, "perigee-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -117,4 +137,48 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d cases)\n", *out, len(report.Results))
+}
+
+// diffReports compares cur against the results section of the report at
+// path. Cases present in only one side are reported informationally; shared
+// cases fail the diff when ns/op regresses by more than maxRegress or when
+// allocs/op increases at all (allocation counts are machine-independent).
+func diffReports(path string, cur []CaseResult, maxRegress float64) error {
+	prev, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("-diff: %w", err)
+	}
+	var old Report
+	if err := json.Unmarshal(prev, &old); err != nil {
+		return fmt.Errorf("-diff: %s is not a bench report: %w", path, err)
+	}
+	oldByName := make(map[string]CaseResult, len(old.Results))
+	for _, c := range old.Results {
+		oldByName[c.Name] = c
+	}
+	var failures []string
+	for _, c := range cur {
+		o, ok := oldByName[c.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "diff %s: new case (no reference in %s)\n", c.Name, path)
+			continue
+		}
+		ratio := c.NsPerOp / o.NsPerOp
+		fmt.Fprintf(os.Stderr, "diff %s: %.0f -> %.0f ns/op (%+.1f%%), %d -> %d allocs/op\n",
+			c.Name, o.NsPerOp, c.NsPerOp, 100*(ratio-1), o.AllocsPerOp, c.AllocsPerOp)
+		if c.AllocsPerOp > o.AllocsPerOp {
+			failures = append(failures,
+				fmt.Sprintf("%s: allocs/op grew %d -> %d", c.Name, o.AllocsPerOp, c.AllocsPerOp))
+		}
+		if ratio > 1+maxRegress {
+			failures = append(failures,
+				fmt.Sprintf("%s: ns/op regressed %.0f -> %.0f (%+.1f%%, tolerance %.0f%%)",
+					c.Name, o.NsPerOp, c.NsPerOp, 100*(ratio-1), 100*maxRegress))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("regressions vs %s:\n  %s", path, strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintf(os.Stderr, "diff vs %s: no regressions\n", path)
+	return nil
 }

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"github.com/perigee-net/perigee/internal/experiments"
+	"github.com/perigee-net/perigee/internal/latency"
 )
 
 func main() {
@@ -33,6 +34,10 @@ func main() {
 		rounds     = flag.Int("rounds", 0, "override Perigee round count")
 		seed       = flag.Uint64("seed", 0, "override root seed")
 		workers    = flag.Int("workers", 0, "worker goroutines for trials/broadcasts (0 = all cores; results are identical for any value)")
+		lambdaSrc  = flag.Int("lambda-sources", 0, "evaluate λ from this many landmark sources instead of all nodes (0 = all; the scale scenario defaults to 64)")
+		obsWindow  = flag.Int("obs-window", 0, "bound per-node observation memory to the last N blocks of each round (0 = dense)")
+		shards     = flag.Int("shards", 0, "run each broadcast as a conservative parallel simulation over N node shards (0/1 = single queue; results are identical for any value)")
+		latMode    = flag.String("latency-mode", "auto", "edge-delay evaluation: auto, precomputed, or streaming (auto switches to streaming at 20k nodes)")
 		adv        = flag.String("adversary", "", "run the adversary-<name> scenario for a built-in strategy (latency-liar, withholding, sybil-flood, eclipse-bias, partition)")
 		advFrac    = flag.Float64("adversary-frac", 0, "population share under adversary control in adversarial scenarios (0 = default 0.15)")
 		asJSON     = flag.Bool("json", false, "emit results as JSON instead of the text report")
@@ -65,6 +70,20 @@ func main() {
 	}
 	opt.Workers = *workers
 	opt.AdversaryFraction = *advFrac
+	opt.LambdaSources = *lambdaSrc
+	opt.ObservationWindow = *obsWindow
+	opt.Shards = *shards
+	switch strings.TrimSpace(*latMode) {
+	case "", "auto":
+		opt.LatencyMode = latency.Auto
+	case "precomputed":
+		opt.LatencyMode = latency.Precomputed
+	case "streaming":
+		opt.LatencyMode = latency.Streaming
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -latency-mode %q (want auto, precomputed, or streaming)\n", *latMode)
+		os.Exit(2)
+	}
 
 	selected := *scenario
 	if selected == "" {

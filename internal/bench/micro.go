@@ -32,6 +32,7 @@ func MicroCases() []Case {
 	return []Case{
 		{"MicroBroadcast1000", MicroBroadcast(1000)},
 		{"MicroBroadcast10000", MicroBroadcast(10000)},
+		{"MicroBroadcast100000", MicroBroadcast(100000)},
 		{"MicroAnalyticArrival1000", MicroAnalyticArrival(1000)},
 		{"MicroDelayToFraction", MicroDelayToFraction},
 		{"MicroVanillaScoring", MicroVanillaScoring},

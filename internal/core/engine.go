@@ -145,6 +145,28 @@ type Config struct {
 	// count: block sources are pre-sampled from the engine RNG, and every
 	// worker writes only into per-block (or per-source) storage.
 	Workers int
+	// LatencyMode selects precomputed vs streaming edge-delay evaluation
+	// for the cached simulator (see latency.Mode). The zero value
+	// (latency.Auto) picks by network size.
+	LatencyMode latency.Mode
+	// ObservationWindow, when positive and below RoundBlocks, bounds each
+	// node's per-round observation memory to the last ObservationWindow
+	// blocks of the round: selectors score a ring of out-degree × window
+	// offsets instead of the full out-degree × RoundBlocks matrix. Blocks
+	// are mutually independent given the fixed start-of-round topology, so
+	// retaining the window's observations is bit-for-bit equivalent to
+	// recording all blocks and discarding the old ones — the engine
+	// therefore skips the discarded broadcasts outright, making the window
+	// a CPU win as well as a memory bound. Sources are still sampled for
+	// every block, keeping the engine RNG stream (and thus exploration)
+	// identical at any window. Zero means no window (dense observations).
+	ObservationWindow int
+	// Shards, when ≥ 2, partitions the nodes into that many contiguous
+	// shards and runs each block's broadcast as a conservative windowed
+	// parallel simulation across them (see netsim.ShardedBroadcaster),
+	// fanned over the engine worker pool. Results stay bit-for-bit
+	// identical at any shard count. Zero or 1 means the single-queue path.
+	Shards int
 }
 
 // Engine runs the Perigee protocol round by round over the simulated
@@ -167,11 +189,14 @@ type Engine struct {
 	// selRand roots the per-(round, node) streams handed to the selector;
 	// derivation is stateless, so selector draws never perturb the engine
 	// stream.
-	selRand  *rng.RNG
-	sampler  *hashpower.Sampler
-	workers  int
-	observer Observer
-	dynamics Dynamics
+	selRand   *rng.RNG
+	sampler   *hashpower.Sampler
+	workers   int
+	latMode   latency.Mode
+	obsWindow int
+	shards    int
+	observer  Observer
+	dynamics  Dynamics
 
 	round int
 
@@ -192,6 +217,7 @@ type roundScratch struct {
 	simDirty   bool
 	adj        [][]int
 	bcs        []*netsim.Broadcaster
+	shb        *netsim.ShardedBroadcaster
 	outs       [][]int
 	slot       [][]int
 	obs        []Observations
@@ -306,6 +332,15 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.Rand == nil {
 		return nil, fmt.Errorf("core: nil rng")
 	}
+	if !cfg.LatencyMode.Valid() {
+		return nil, fmt.Errorf("core: invalid latency mode %d", int(cfg.LatencyMode))
+	}
+	if cfg.ObservationWindow < 0 {
+		return nil, fmt.Errorf("core: observation window %d must be non-negative", cfg.ObservationWindow)
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("core: shard count %d must be non-negative", cfg.Shards)
+	}
 	sampler, err := hashpower.NewSampler(cfg.Power)
 	if err != nil {
 		return nil, err
@@ -334,6 +369,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 		selRand:      cfg.Rand.Derive("selector"),
 		sampler:      sampler,
 		workers:      cfg.Workers,
+		latMode:      cfg.LatencyMode,
+		obsWindow:    cfg.ObservationWindow,
+		shards:       cfg.Shards,
 		observer:     cfg.Observer,
 		dynamics:     cfg.Dynamics,
 	}
@@ -398,6 +436,7 @@ func (e *Engine) ensureSim() (*netsim.Simulator, error) {
 			SendInterval: e.sendInterval,
 			Silent:       e.silent,
 			RelayDelay:   e.relayDelay,
+			LatencyMode:  e.latMode,
 		})
 		if err != nil {
 			return nil, err
@@ -429,6 +468,21 @@ func (e *Engine) broadcasters(sim *netsim.Simulator, workers int) []*netsim.Broa
 		rs.bcs = append(rs.bcs, sim.NewBroadcaster())
 	}
 	return rs.bcs[:workers]
+}
+
+// shardedBroadcaster returns the engine's cached sharded broadcast context
+// over the cached simulator, created on first use; it resynchronizes its
+// shard partition and scratch on topology changes by itself.
+func (e *Engine) shardedBroadcaster(sim *netsim.Simulator) (*netsim.ShardedBroadcaster, error) {
+	rs := &e.scratch
+	if rs.shb == nil {
+		shb, err := sim.NewShardedBroadcaster(e.shards, e.workers)
+		if err != nil {
+			return nil, err
+		}
+		rs.shb = shb
+	}
+	return rs.shb, nil
 }
 
 // arrivalBuffers returns `workers` reusable arrival vectors for the
@@ -487,12 +541,21 @@ func (e *Engine) Step() (RoundReport, error) {
 			slot[v][i] = k
 		}
 	}
+	// An observation window keeps only the round's last `window` blocks;
+	// the earlier blocks' broadcasts are skipped entirely (blocks are
+	// independent, so this is bit-for-bit equivalent to simulating and
+	// discarding them — see Config.ObservationWindow).
+	window := e.params.RoundBlocks
+	if e.obsWindow > 0 && e.obsWindow < window {
+		window = e.obsWindow
+	}
 	for v := 0; v < n; v++ {
-		obs[v].Reset(outs[v], e.params.RoundBlocks)
+		obs[v].Reset(outs[v], window)
 	}
 
 	// Broadcast phase. All RNG draws happen up front, on the single engine
-	// stream, in block order.
+	// stream, in block order — every block's source is sampled even when a
+	// window skips its broadcast, so the stream is window-independent.
 	if cap(rs.sources) < e.params.RoundBlocks {
 		rs.sources = make([]int, e.params.RoundBlocks)
 	}
@@ -501,38 +564,35 @@ func (e *Engine) Step() (RoundReport, error) {
 	for b := range sources {
 		sources[b] = e.sampler.Sample(e.rand)
 	}
-	workers := e.workerCount(len(sources))
-	bcs := e.broadcasters(sim, workers)
-	err = parallel.ForEachIndexed(len(sources), workers, func(worker, b int) error {
-		res, err := bcs[worker].Broadcast(sources[b])
+	observed := sources[e.params.RoundBlocks-window:]
+	if e.shards > 1 {
+		// Sharded path: each block's broadcast itself fans out across the
+		// node shards, so blocks run sequentially.
+		shb, err := e.shardedBroadcaster(sim)
 		if err != nil {
-			return err
+			return RoundReport{}, err
 		}
-		for v := 0; v < n; v++ {
-			row := res.EdgeArrival[v]
-			if len(row) == 0 {
-				continue
+		for b, src := range observed {
+			res, err := shb.Broadcast(src)
+			if err != nil {
+				return RoundReport{}, err
 			}
-			tMin := stats.InfDuration
-			for _, t := range row {
-				if t < tMin {
-					tMin = t
-				}
-			}
-			if tMin == stats.InfDuration {
-				continue // nothing heard; offsets stay censored
-			}
-			dst := obs[v].Offsets[b]
-			for i := range outs[v] {
-				if t := row[slot[v][i]]; t != stats.InfDuration {
-					dst[i] = t - tMin
-				}
-			}
+			harvestObservations(res, b, obs, outs, slot)
 		}
-		return nil
-	})
-	if err != nil {
-		return RoundReport{}, err
+	} else {
+		workers := e.workerCount(len(observed))
+		bcs := e.broadcasters(sim, workers)
+		err = parallel.ForEachIndexed(len(observed), workers, func(worker, b int) error {
+			res, err := bcs[worker].Broadcast(observed[b])
+			if err != nil {
+				return err
+			}
+			harvestObservations(res, b, obs, outs, slot)
+			return nil
+		})
+		if err != nil {
+			return RoundReport{}, err
+		}
 	}
 
 	// Adversarial observation tampering runs between measurement and
@@ -564,6 +624,34 @@ func (e *Engine) Step() (RoundReport, error) {
 		}
 	}
 	return report, nil
+}
+
+// harvestObservations folds one broadcast result into the per-node
+// observation matrices as block row b: each node's offsets are its outgoing
+// neighbors' arrival times relative to the node's earliest announcement.
+// Rows are per-block, so concurrent calls for distinct b never race.
+func harvestObservations(res netsim.Result, b int, obs []Observations, outs, slot [][]int) {
+	for v := range obs {
+		row := res.EdgeArrival[v]
+		if len(row) == 0 {
+			continue
+		}
+		tMin := stats.InfDuration
+		for _, t := range row {
+			if t < tMin {
+				tMin = t
+			}
+		}
+		if tMin == stats.InfDuration {
+			continue // nothing heard; offsets stay censored
+		}
+		dst := obs[v].Offsets[b]
+		for i := range outs[v] {
+			if t := row[slot[v][i]]; t != stats.InfDuration {
+				dst[i] = t - tMin
+			}
+		}
+	}
 }
 
 // update applies the selector's neighbor update synchronously at all

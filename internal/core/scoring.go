@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"github.com/perigee-net/perigee/internal/stats"
@@ -95,39 +96,108 @@ func (o *Observations) Reset(neighbors []int, blocks int) {
 	}
 }
 
-// column extracts neighbor i's offsets across all blocks.
-func (o Observations) column(i int) []time.Duration {
-	col := make([]time.Duration, len(o.Offsets))
-	for b := range o.Offsets {
-		col[b] = o.Offsets[b][i]
-	}
-	return col
-}
+// columnPool recycles the per-neighbor column scratch shared by the
+// scoring entry points; scoring runs once per node per round from many
+// goroutines, so the extraction buffer must not allocate once warm.
+var columnPool = sync.Pool{New: func() any { return new([]time.Duration) }}
 
 // VanillaScores assigns each neighbor the pct-percentile of its offset
-// multiset. Lower is better.
+// multiset. Lower is better. The only steady-state allocation is the
+// returned slice; use VanillaScoresInto to elide that too.
 func VanillaScores(obs Observations, pct float64) []time.Duration {
 	scores := make([]time.Duration, len(obs.Neighbors))
-	for i := range obs.Neighbors {
-		scores[i] = stats.DurationPercentile(obs.column(i), pct)
-	}
+	VanillaScoresInto(scores, obs, pct)
 	return scores
 }
 
+// VanillaScoresInto writes each neighbor's pct-percentile score into
+// scores, which must have length len(obs.Neighbors). It performs no heap
+// allocations once the internal pools are warm.
+func VanillaScoresInto(scores []time.Duration, obs Observations, pct float64) {
+	colp := columnPool.Get().(*[]time.Duration)
+	col := *colp
+	for i := range obs.Neighbors {
+		col = col[:0]
+		for b := range obs.Offsets {
+			col = append(col, obs.Offsets[b][i])
+		}
+		scores[i] = stats.DurationPercentile(col, pct)
+	}
+	*colp = col
+	columnPool.Put(colp)
+}
+
+// rankSorter sorts a neighbor-index slice by (score, neighbor ID). It
+// implements sort.Interface so ranking needs no per-call closure
+// allocation; instances are pooled because every Vanilla decision ranks
+// once per node per round, from many goroutines.
+type rankSorter struct {
+	idx       []int
+	scores    []time.Duration
+	neighbors []int
+}
+
+func (s *rankSorter) Len() int { return len(s.idx) }
+func (s *rankSorter) Less(a, b int) bool {
+	ia, ib := s.idx[a], s.idx[b]
+	if s.scores[ia] != s.scores[ib] {
+		return s.scores[ia] < s.scores[ib]
+	}
+	return s.neighbors[ia] < s.neighbors[ib]
+}
+func (s *rankSorter) Swap(a, b int) { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
+
+var rankSorterPool = sync.Pool{New: func() any { return new(rankSorter) }}
+
+// subsetScratch bundles the working buffers of one SubsetSelect call so the
+// greedy §4.3 selection — which runs once per node per round, from many
+// goroutines — allocates only its returned slice once warm.
+type subsetScratch struct {
+	individual  []time.Duration
+	best        []time.Duration
+	transformed []time.Duration
+	used        []bool
+}
+
+var subsetPool = sync.Pool{New: func() any { return new(subsetScratch) }}
+
+// growDur resizes *buf to n elements, reallocating only on capacity growth.
+// Contents are unspecified; callers overwrite every element.
+func growDur(buf *[]time.Duration, n int) []time.Duration {
+	if cap(*buf) < n {
+		*buf = make([]time.Duration, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// growBool is growDur for bool scratch, additionally clearing the slice
+// because SubsetSelect reads used[i] before ever writing it.
+func growBool(buf *[]bool, n int) []bool {
+	if cap(*buf) < n {
+		*buf = make([]bool, n)
+	}
+	*buf = (*buf)[:n]
+	b := *buf
+	for i := range b {
+		b[i] = false
+	}
+	return b
+}
+
 // RankByScore returns neighbor indices ordered best-first (ascending
-// score), breaking ties by neighbor ID for determinism.
+// score), breaking ties by neighbor ID for determinism. The returned slice
+// is the call's only steady-state allocation.
 func RankByScore(obs Observations, scores []time.Duration) []int {
 	idx := make([]int, len(scores))
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		ia, ib := idx[a], idx[b]
-		if scores[ia] != scores[ib] {
-			return scores[ia] < scores[ib]
-		}
-		return obs.Neighbors[ia] < obs.Neighbors[ib]
-	})
+	srt := rankSorterPool.Get().(*rankSorter)
+	srt.idx, srt.scores, srt.neighbors = idx, scores, obs.Neighbors
+	sort.Sort(srt)
+	srt.idx, srt.scores, srt.neighbors = nil, nil, nil // don't retain caller slices
+	rankSorterPool.Put(srt)
 	return idx
 }
 
@@ -156,15 +226,18 @@ func SubsetSelect(obs Observations, retain int, pct float64) []int {
 		return nil
 	}
 	blocks := len(obs.Offsets)
-	individual := VanillaScores(obs, pct)
+	sc := subsetPool.Get().(*subsetScratch)
+	defer subsetPool.Put(sc)
+	individual := growDur(&sc.individual, k)
+	VanillaScoresInto(individual, obs, pct)
 	// best[b] is the fastest offset among chosen neighbors for block b.
-	best := make([]time.Duration, blocks)
+	best := growDur(&sc.best, blocks)
 	for b := range best {
 		best[b] = stats.InfDuration
 	}
 	chosen := make([]int, 0, retain)
-	used := make([]bool, k)
-	transformed := make([]time.Duration, blocks)
+	used := growBool(&sc.used, k)
+	transformed := growDur(&sc.transformed, blocks)
 	for len(chosen) < retain {
 		bestIdx := -1
 		bestScore := stats.InfDuration

@@ -177,6 +177,14 @@ func (q *DeliveryQueue) Push(d Delivery) {
 	}
 }
 
+// PeekMin returns the earliest pending delivery without removing it. It
+// must not be called on an empty queue. The conservative windowed
+// (sharded) simulation uses it to find the next global window bound.
+func (q *DeliveryQueue) PeekMin() Delivery {
+	top := q.items[0]
+	return Delivery{At: top.at, Node: top.node, Slot: top.slot}
+}
+
 // PopMin removes and returns the earliest pending delivery (FIFO among
 // equal timestamps). It must not be called on an empty queue.
 func (q *DeliveryQueue) PopMin() Delivery {

@@ -172,6 +172,10 @@ func newExtensionEngine(e *env, method core.Method, tbl *topology.Table, silent 
 		SendInterval: sendInterval,
 		Rand:         e.root.Derive("extension-engine-" + method.String()),
 		Workers:      e.opt.Workers,
+
+		LatencyMode:       e.opt.LatencyMode,
+		ObservationWindow: e.opt.ObservationWindow,
+		Shards:            e.opt.Shards,
 	})
 }
 

@@ -63,6 +63,29 @@ type Options struct {
 	// count: every trial derives its RNG streams statelessly from
 	// (Seed, trial index), so no stream depends on execution order.
 	Workers int
+	// LambdaSources, when positive and below Nodes, evaluates λ from that
+	// many landmark sources (a fixed per-trial random sample) instead of
+	// all n — turning each evaluation pass from n Dijkstras into k, the
+	// lever that makes per-round convergence tracking affordable at 100k+
+	// nodes. The landmark set is derived statelessly from the trial seed,
+	// so successive rounds (and algorithm arms sharing a trial) are
+	// compared on identical sources. The sorted λ series then has k
+	// entries; its percentiles are estimators of the full-population ones
+	// (see the error-bound test in scale_test.go). Zero evaluates all
+	// nodes, the paper's exact protocol.
+	LambdaSources int
+	// ObservationWindow bounds per-node observation memory to the last w
+	// blocks of each round; forwarded to core.Config.ObservationWindow.
+	// Zero keeps dense observations.
+	ObservationWindow int
+	// Shards runs each block broadcast as a conservative windowed parallel
+	// simulation over that many node shards; forwarded to
+	// core.Config.Shards. Zero or 1 uses the single-queue path.
+	Shards int
+	// LatencyMode selects precomputed vs streaming edge delays for both
+	// the protocol engines and the evaluation simulators (zero = Auto,
+	// which switches to streaming at 20k nodes).
+	LatencyMode latency.Mode
 }
 
 // ValidationModel selects the per-node validation delay distribution.
@@ -135,6 +158,18 @@ func (o Options) validate() error {
 	}
 	if o.CaptureThreshold < 0 || o.CaptureThreshold > 1 {
 		return fmt.Errorf("experiments: capture threshold %v outside [0, 1]", o.CaptureThreshold)
+	}
+	if o.LambdaSources < 0 {
+		return fmt.Errorf("experiments: lambda sources %d must be non-negative", o.LambdaSources)
+	}
+	if o.ObservationWindow < 0 {
+		return fmt.Errorf("experiments: observation window %d must be non-negative", o.ObservationWindow)
+	}
+	if o.Shards < 0 {
+		return fmt.Errorf("experiments: shard count %d must be non-negative", o.Shards)
+	}
+	if !o.LatencyMode.Valid() {
+		return fmt.Errorf("experiments: invalid latency mode %d", int(o.LatencyMode))
 	}
 	return nil
 }
@@ -247,6 +282,9 @@ type env struct {
 	evalVer uint64
 	evalAdj [][]int
 	evalArr [][]time.Duration
+	// evalSrc caches the trial's landmark source set (nil when λ is
+	// evaluated from all nodes); see Options.LambdaSources.
+	evalSrc []int
 }
 
 // newEnv samples a trial environment: universe, per-trial link latencies,
@@ -337,7 +375,7 @@ func (e *env) simFor(tbl *topology.Table) (*netsim.Simulator, error) {
 		adj = topology.MergeAdjacency(adj, e.pinned)
 	}
 	if e.evalSim == nil {
-		sim, err := netsim.NewPrevalidated(netsim.Config{Adj: adj, Latency: e.lat, Forward: e.forward})
+		sim, err := netsim.NewPrevalidated(netsim.Config{Adj: adj, Latency: e.lat, Forward: e.forward, LatencyMode: e.opt.LatencyMode})
 		if err != nil {
 			return nil, err
 		}
@@ -349,9 +387,30 @@ func (e *env) simFor(tbl *topology.Table) (*netsim.Simulator, error) {
 	return e.evalSim, nil
 }
 
-// evalTopology computes λ_v for every node over a static communication
-// graph (plus the env's pinned edges). Sources are evaluated on the worker
-// pool; the pooled analytic pass writes into per-worker arrival buffers.
+// landmarks returns the trial's λ evaluation sources: nil for the exact
+// all-sources pass, or a cached uniform sample of LambdaSources distinct
+// nodes. The sample is derived statelessly from the trial seed — it never
+// consumes the trial's sequential streams, and repeated evaluations (every
+// round of a convergence run, every arm sharing the trial) see the same
+// landmark set, so series are comparable across rounds and algorithms.
+func (e *env) landmarks() []int {
+	k := e.opt.LambdaSources
+	if k <= 0 || k >= e.opt.Nodes {
+		return nil
+	}
+	if len(e.evalSrc) != k {
+		perm := e.root.Derive("lambda-landmarks").Perm(e.opt.Nodes)
+		e.evalSrc = append(e.evalSrc[:0], perm[:k]...)
+		sort.Ints(e.evalSrc)
+	}
+	return e.evalSrc
+}
+
+// evalTopology computes λ_v over a static communication graph (plus the
+// env's pinned edges) for every node — or only the trial's landmark
+// sources when Options.LambdaSources is set. Sources are evaluated on the
+// worker pool; the pooled analytic pass writes into per-worker arrival
+// buffers.
 func (e *env) evalTopology(tbl *topology.Table) ([]float64, error) {
 	return e.evalTopologyAt(tbl, e.opt.Fraction)
 }
@@ -362,21 +421,30 @@ func (e *env) evalTopologyAt(tbl *topology.Table, frac float64) ([]float64, erro
 	if err != nil {
 		return nil, err
 	}
+	sources := e.landmarks()
+	count := e.opt.Nodes
+	if sources != nil {
+		count = len(sources)
+	}
 	workers := parallel.Workers(e.opt.Workers)
-	if workers > e.opt.Nodes {
-		workers = e.opt.Nodes
+	if workers > count {
+		workers = count
 	}
 	for len(e.evalArr) < workers {
 		e.evalArr = append(e.evalArr, nil)
 	}
-	delays := make([]time.Duration, e.opt.Nodes)
-	err = parallel.ForEachIndexed(e.opt.Nodes, workers, func(worker, src int) error {
+	delays := make([]time.Duration, count)
+	err = parallel.ForEachIndexed(count, workers, func(worker, i int) error {
+		src := i
+		if sources != nil {
+			src = sources[i]
+		}
 		arrival, err := sim.ArrivalAnalyticInto(e.evalArr[worker], src)
 		if err != nil {
 			return err
 		}
 		e.evalArr[worker] = arrival
-		delays[src], err = netsim.DelayToFraction(arrival, e.power, frac)
+		delays[i], err = netsim.DelayToFraction(arrival, e.power, frac)
 		return err
 	})
 	if err != nil {
@@ -433,6 +501,10 @@ func (e *env) runPerigee(method core.Method) ([]float64, *core.Engine, error) {
 		Frozen:  e.frozen,
 		Rand:    e.root.Derive("engine-" + method.String()),
 		Workers: e.opt.Workers,
+
+		LatencyMode:       e.opt.LatencyMode,
+		ObservationWindow: e.opt.ObservationWindow,
+		Shards:            e.opt.Shards,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -440,7 +512,7 @@ func (e *env) runPerigee(method core.Method) ([]float64, *core.Engine, error) {
 	if _, err := engine.Run(rounds); err != nil {
 		return nil, nil, err
 	}
-	delays, err := engine.Delays(e.opt.Fraction, nil)
+	delays, err := engine.Delays(e.opt.Fraction, e.landmarks())
 	if err != nil {
 		return nil, nil, err
 	}

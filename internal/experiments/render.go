@@ -80,6 +80,7 @@ func builtinScenarios() map[string]Scenario {
 	add("bandwidth", "upload bandwidth heterogeneity (serialized sends)", Bandwidth)
 	add("eclipse", "neighborhood capture by fast adversaries vs exploration", Eclipse)
 	add("convergence", "per-round 90%/50% coverage delay trajectories (§5.2)", Convergence)
+	add("scale", "large-n convergence: streaming latency, windows, landmarks, shards", Scale)
 
 	// Pluggable adversary strategies (internal/adversary), one scenario
 	// each: honest-node λ for Subset/Vanilla/Random under attack vs clean.

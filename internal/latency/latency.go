@@ -31,6 +31,66 @@ type Model interface {
 	N() int
 }
 
+// Mode selects how a simulator evaluates the latency model on its edges.
+//
+// Precomputed mode materializes one delay per directed edge at topology
+// build time, so every hop of the broadcast hot loop is a flat array read —
+// the fastest option, at O(E) memory per simulator. Streaming mode keeps no
+// per-edge array and evaluates Model.Delay on the fly from the node
+// coordinates each time an announcement crosses an edge: O(1) latency
+// memory regardless of network size, at the cost of recomputing embedded
+// distances (and, for Geographic, the hashed per-link jitter) per event.
+// Both modes produce bit-for-bit identical delays — they call the same
+// Delay method — so results never depend on the mode, only speed and
+// memory do.
+//
+// Auto, the default, picks Precomputed below StreamingAutoThreshold nodes
+// and Streaming at or above it: small networks pay the array, large runs
+// (100k–1M nodes) keep memory proportional to the edges actually touched.
+type Mode int
+
+const (
+	// Auto resolves to Precomputed below StreamingAutoThreshold nodes and
+	// to Streaming at or above it.
+	Auto Mode = iota
+	// Precomputed materializes per-edge delays at topology build time.
+	Precomputed
+	// Streaming evaluates Model.Delay per event, storing nothing.
+	Streaming
+)
+
+// StreamingAutoThreshold is the node count at which Auto switches from
+// precomputed per-edge delays to streaming evaluation.
+const StreamingAutoThreshold = 20000
+
+// String returns the mode's name.
+func (m Mode) String() string {
+	switch m {
+	case Auto:
+		return "auto"
+	case Precomputed:
+		return "precomputed"
+	case Streaming:
+		return "streaming"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Valid reports whether m is a defined mode.
+func (m Mode) Valid() bool { return m >= Auto && m <= Streaming }
+
+// Resolve maps Auto to a concrete mode for an n-node topology.
+func (m Mode) Resolve(n int) Mode {
+	if m != Auto {
+		return m
+	}
+	if n >= StreamingAutoThreshold {
+		return Streaming
+	}
+	return Precomputed
+}
+
 // PrecomputeEdges fills out[e] with Delay(v, edgeDst[e]) for every directed
 // edge of a CSR adjacency (rowStart[v] .. rowStart[v+1] are node v's
 // outgoing edges). Evaluating the model once per edge at topology-build

@@ -79,6 +79,12 @@ type Config struct {
 	// broadcast time, so mid-run mutation (an adversary switching behavior
 	// between rounds) takes effect without rebuilding the simulator.
 	RelayDelay []time.Duration
+	// LatencyMode selects how edge delays are evaluated: precomputed into a
+	// per-edge array (fast, O(E) memory) or streamed from the model per
+	// event (O(1) latency memory, for 100k+-node runs). The zero value
+	// (latency.Auto) picks by network size. Delays are bit-for-bit
+	// identical in every mode.
+	LatencyMode latency.Mode
 }
 
 // Simulator holds the immutable-between-reconfigurations topology of one
@@ -95,9 +101,15 @@ type Simulator struct {
 	// rowStart[v+1] of the edge arrays.
 	rowStart  []int32
 	edgeDst   []int32
-	edgeSlot  []int32 // sender's position in edgeDst[e]'s row (reverse index)
-	edgeDelay []time.Duration
-	cursor    []int32 // rebuild's per-node sweep cursor, kept to avoid realloc
+	edgeSlot  []int32         // sender's position in edgeDst[e]'s row (reverse index)
+	edgeDelay []time.Duration // empty in streaming mode; see delayOf
+	cursor    []int32         // rebuild's per-node sweep cursor, kept to avoid realloc
+
+	// streaming records the resolved latency mode: when set, edgeDelay is
+	// not materialized and every hot-path read asks the latency model
+	// directly (Model.Delay must then be safe for concurrent use, which the
+	// deterministic geographic model is — it only reads immutable tables).
+	streaming bool
 
 	// gen counts Reconfigure calls; Broadcasters lazily resynchronize
 	// their scratch when they observe a new generation.
@@ -221,6 +233,9 @@ func validateShape(cfg Config) error {
 			}
 		}
 	}
+	if !cfg.LatencyMode.Valid() {
+		return fmt.Errorf("netsim: invalid latency mode %d", int(cfg.LatencyMode))
+	}
 	return nil
 }
 
@@ -236,10 +251,15 @@ func (s *Simulator) rebuild(adj [][]int) error {
 		total += len(row)
 	}
 	s.cfg.Adj = adj
+	s.streaming = s.cfg.LatencyMode.Resolve(n) == latency.Streaming
 	s.rowStart = growInt32(s.rowStart, n+1)
 	s.edgeDst = growInt32(s.edgeDst, total)
 	s.edgeSlot = growInt32(s.edgeSlot, total)
-	s.edgeDelay = growDurations(s.edgeDelay, total)
+	if s.streaming {
+		s.edgeDelay = s.edgeDelay[:0]
+	} else {
+		s.edgeDelay = growDurations(s.edgeDelay, total)
+	}
 	pos := int32(0)
 	for v, row := range adj {
 		s.rowStart[v] = pos
@@ -264,12 +284,29 @@ func (s *Simulator) rebuild(adj [][]int) error {
 			s.edgeSlot[e] = k
 		}
 	}
-	if err := latency.PrecomputeEdges(s.cfg.Latency, s.rowStart, s.edgeDst, s.edgeDelay); err != nil {
-		return err
+	if !s.streaming {
+		if err := latency.PrecomputeEdges(s.cfg.Latency, s.rowStart, s.edgeDst, s.edgeDelay); err != nil {
+			return err
+		}
 	}
 	s.gen++
 	return nil
 }
+
+// delayOf returns the one-way delay of directed edge e leaving node v. In
+// precomputed mode it is an array read; in streaming mode the latency model
+// is evaluated on the spot. Both paths yield bit-for-bit identical values
+// because PrecomputeEdges stores exactly Model.Delay's results.
+func (s *Simulator) delayOf(v, e int32) time.Duration {
+	if s.streaming {
+		return s.cfg.Latency.Delay(int(v), int(s.edgeDst[e]))
+	}
+	return s.edgeDelay[e]
+}
+
+// Streaming reports whether the simulator resolved to the streaming latency
+// mode (no per-edge delay array; see latency.Mode).
+func (s *Simulator) Streaming() bool { return s.streaming }
 
 // growInt32 returns a slice of length n, reusing buf's capacity if possible.
 func growInt32(buf []int32, n int) []int32 {
@@ -407,7 +444,7 @@ func (b *Broadcaster) forward(v int32, at time.Duration) {
 	}
 	depart := at
 	for e := s.rowStart[v]; e < s.rowStart[v+1]; e++ {
-		b.queue.Push(des.Delivery{At: depart + s.edgeDelay[e], Node: s.edgeDst[e], Slot: s.edgeSlot[e]})
+		b.queue.Push(des.Delivery{At: depart + s.delayOf(v, e), Node: s.edgeDst[e], Slot: s.edgeSlot[e]})
 		depart += interval
 	}
 }
@@ -542,7 +579,7 @@ func (s *Simulator) ArrivalAnalyticInto(dst []time.Duration, source int) ([]time
 		}
 		for e := s.rowStart[v]; e < s.rowStart[v+1]; e++ {
 			w := s.edgeDst[e]
-			if d := depart + s.edgeDelay[e]; d < dist[w] {
+			if d := depart + s.delayOf(v, e); d < dist[w] {
 				dist[w] = d
 				sc.push(dijkstraItem{d: d, v: w})
 			}

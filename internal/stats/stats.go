@@ -12,8 +12,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -61,11 +63,18 @@ func sortedPercentile(sorted []float64, p float64) float64 {
 	return a*(1-frac) + b*frac
 }
 
+// durationSortPool recycles the sort buffer DurationPercentile copies its
+// input into. The percentile primitive runs in every scoring inner loop
+// (once per neighbor-candidate per node per round, from many goroutines),
+// so the copy-and-sort must not allocate once warm.
+var durationSortPool = sync.Pool{New: func() any { return new([]time.Duration) }}
+
 // DurationPercentile returns the p-quantile of ds with linear interpolation.
 // InfDuration observations are treated as right-censored: if the quantile
 // needs to interpolate into a censored value, the result is InfDuration.
 // It returns InfDuration for empty input (there is no evidence the event
-// ever happens).
+// ever happens). The input is not modified; steady-state calls perform no
+// heap allocations.
 func DurationPercentile(ds []time.Duration, p float64) time.Duration {
 	if p < 0 || p > 1 {
 		panic(fmt.Sprintf("stats: percentile %v outside [0, 1]", p))
@@ -73,27 +82,33 @@ func DurationPercentile(ds []time.Duration, p float64) time.Duration {
 	if len(ds) == 0 {
 		return InfDuration
 	}
-	sorted := append([]time.Duration(nil), ds...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	bufp := durationSortPool.Get().(*[]time.Duration)
+	sorted := append((*bufp)[:0], ds...)
+	slices.Sort(sorted)
 	n := len(sorted)
-	if n == 1 {
-		return sorted[0]
-	}
-	rank := p * float64(n-1)
-	lo := int(math.Floor(rank))
-	hi := int(math.Ceil(rank))
-	if lo == hi {
-		return sorted[lo]
-	}
-	frac := rank - float64(lo)
-	a, b := sorted[lo], sorted[hi]
-	if b == InfDuration {
-		if frac == 0 {
-			return a
+	result := sorted[0]
+	if n > 1 {
+		rank := p * float64(n-1)
+		lo := int(math.Floor(rank))
+		hi := int(math.Ceil(rank))
+		frac := rank - float64(lo)
+		a, b := sorted[lo], sorted[hi]
+		switch {
+		case lo == hi:
+			result = a
+		case b == InfDuration:
+			if frac == 0 {
+				result = a
+			} else {
+				result = InfDuration
+			}
+		default:
+			result = a + time.Duration(float64(b-a)*frac)
 		}
-		return InfDuration
 	}
-	return a + time.Duration(float64(b-a)*frac)
+	*bufp = sorted[:0]
+	durationSortPool.Put(bufp)
+	return result
 }
 
 // Summary accumulates a streaming mean/variance/min/max using Welford's

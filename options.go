@@ -6,6 +6,7 @@ import (
 
 	"github.com/perigee-net/perigee/internal/adversary"
 	"github.com/perigee-net/perigee/internal/core"
+	"github.com/perigee-net/perigee/internal/latency"
 	"github.com/perigee-net/perigee/internal/rng"
 )
 
@@ -30,6 +31,9 @@ type settings struct {
 	roundBlocksSet bool
 	percentile     float64
 	workers        int
+	latencyMode    LatencyMode
+	obsWindow      int
+	shards         int
 
 	selector      Selector
 	latency       LatencyModel
@@ -148,6 +152,72 @@ func WithPercentile(p float64) Option {
 func WithWorkers(w int) Option {
 	return func(s *settings) error {
 		s.workers = w
+		return nil
+	}
+}
+
+// LatencyMode selects how the simulator evaluates per-edge link delays;
+// see the constants. Delays are bit-for-bit identical in every mode — the
+// choice trades memory for per-event compute.
+type LatencyMode int
+
+// The latency evaluation modes.
+const (
+	// LatencyAuto (the default) picks by network size: precomputed below
+	// the streaming threshold (20k nodes), streaming at or above it.
+	LatencyAuto LatencyMode = LatencyMode(latency.Auto)
+	// LatencyPrecomputed materializes every edge's delay into a flat array
+	// when the topology is (re)built — O(E) memory, fastest per event.
+	LatencyPrecomputed LatencyMode = LatencyMode(latency.Precomputed)
+	// LatencyStreaming evaluates the latency model on the fly at every
+	// delivery — O(1) latency memory, for 100k+-node runs. The model must
+	// be safe for concurrent reads (all built-in models are).
+	LatencyStreaming LatencyMode = LatencyMode(latency.Streaming)
+)
+
+// WithLatencyMode overrides the automatic precomputed-vs-streaming latency
+// decision; see LatencyMode. Default LatencyAuto.
+func WithLatencyMode(m LatencyMode) Option {
+	return func(s *settings) error {
+		if !latency.Mode(m).Valid() {
+			return fmt.Errorf("perigee: unknown latency mode %d", int(m))
+		}
+		s.latencyMode = m
+		return nil
+	}
+}
+
+// WithObservationWindow bounds each node's per-round observation memory to
+// the last w blocks of the round: selectors score an out-degree × w ring
+// instead of the full out-degree × RoundBlocks matrix, and the skipped
+// blocks' broadcasts are elided entirely (blocks are independent, so the
+// retained observations are bit-for-bit identical to a dense run's last w
+// rows). This is the memory/CPU lever for 100k+-node runs; windows below
+// RoundBlocks trade observation count per round for speed the same way a
+// smaller RoundBlocks would, without changing the round's mining schedule
+// or exploration randomness. Zero (the default) keeps dense observations.
+func WithObservationWindow(w int) Option {
+	return func(s *settings) error {
+		if w < 0 {
+			return fmt.Errorf("perigee: observation window %d must be non-negative", w)
+		}
+		s.obsWindow = w
+		return nil
+	}
+}
+
+// WithShards partitions the nodes into k contiguous shards and runs each
+// block's broadcast as a conservative windowed parallel simulation across
+// them (lookahead = the minimum cross-shard link delay). Results are
+// bit-for-bit identical at any shard count; topologies with a zero-delay
+// cross-shard link fall back to single-shard execution. Zero or 1 (the
+// default) uses the single-queue broadcast path.
+func WithShards(k int) Option {
+	return func(s *settings) error {
+		if k < 0 {
+			return fmt.Errorf("perigee: shard count %d must be non-negative", k)
+		}
+		s.shards = k
 		return nil
 	}
 }
@@ -366,6 +436,10 @@ func New(nodes int, opts ...Option) (*Network, error) {
 		Power:    power,
 		Rand:     root.Derive("engine"),
 		Workers:  s.workers,
+
+		LatencyMode:       latency.Mode(s.latencyMode),
+		ObservationWindow: s.obsWindow,
+		Shards:            s.shards,
 	}
 	if len(s.observers) > 0 {
 		cfg.Observer = &observerBridge{net: net}

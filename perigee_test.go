@@ -520,3 +520,72 @@ func ExampleWithObserver() {
 	// round 1: 5 blocks
 	// round 2: 5 blocks
 }
+
+// TestScaleOptionsEndToEnd exercises the scale-stack options through the
+// public surface: a network with streaming delays, a narrow observation
+// window, and sharded broadcasts must evolve bit-for-bit like the plain
+// configuration whose semantics they preserve (the window is full-width
+// here, so all three knobs are result-neutral).
+func TestScaleOptionsEndToEnd(t *testing.T) {
+	build := func(opts ...Option) *Network {
+		t.Helper()
+		base := []Option{WithSeed(17), WithRoundBlocks(20)}
+		net, err := New(80, append(base, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return net
+	}
+	plain := build()
+	scaled := build(
+		WithLatencyMode(LatencyStreaming),
+		WithObservationWindow(20), // == RoundBlocks: observes every block
+		WithShards(4),
+		WithWorkers(8),
+	)
+	for r := 0; r < 4; r++ {
+		sumPlain, err := plain.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumScaled, err := scaled.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sumPlain != sumScaled {
+			t.Fatalf("round %d summaries diverge under the scale stack: %+v vs %+v", r, sumPlain, sumScaled)
+		}
+	}
+	if !reflect.DeepEqual(plain.Adjacency(), scaled.Adjacency()) {
+		t.Fatal("adjacency diverges under the scale stack")
+	}
+	dPlain, err := plain.BroadcastDelays(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dScaled, err := scaled.BroadcastDelays(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dPlain, dScaled) {
+		t.Fatal("delay metrics diverge under the scale stack")
+	}
+}
+
+// TestScaleOptionValidation covers the new options' argument checks.
+func TestScaleOptionValidation(t *testing.T) {
+	if _, err := New(50, WithLatencyMode(LatencyMode(99))); err == nil {
+		t.Fatal("WithLatencyMode(99) should be rejected")
+	}
+	if _, err := New(50, WithObservationWindow(-1)); err == nil {
+		t.Fatal("WithObservationWindow(-1) should be rejected")
+	}
+	if _, err := New(50, WithShards(-1)); err == nil {
+		t.Fatal("WithShards(-1) should be rejected")
+	}
+	for _, m := range []LatencyMode{LatencyAuto, LatencyPrecomputed, LatencyStreaming} {
+		if _, err := New(50, WithLatencyMode(m)); err != nil {
+			t.Fatalf("WithLatencyMode(%d): %v", int(m), err)
+		}
+	}
+}
