@@ -183,6 +183,12 @@ func BenchmarkMicroVanillaScoring(b *testing.B) { bench.MicroVanillaScoring(b) }
 // BenchmarkMicroSubsetScoring measures the greedy joint selection (§4.3).
 func BenchmarkMicroSubsetScoring(b *testing.B) { bench.MicroSubsetScoring(b) }
 
+// BenchmarkWorkloadHour measures one simulated hour of the continuous-time
+// blockchain workload (~1800 Poisson arrivals, timed topology rounds,
+// per-node chain views) on a 300-node network; scripts/bench.sh gates its
+// allocs/op.
+func BenchmarkWorkloadHour(b *testing.B) { bench.WorkloadHour(b) }
+
 // BenchmarkMicroEngineRound measures one full protocol round (broadcasts +
 // scoring + reconnection) on a 300-node network.
 func BenchmarkMicroEngineRound(b *testing.B) { bench.MicroEngineRound(b) }

@@ -8,6 +8,7 @@
 //	perigee-sim -scenario figure1 -quick -json
 //	perigee-sim -all -quick -out results.md
 //	perigee-sim -adversary withholding -adversary-frac 0.2 -quick
+//	perigee-sim -scenario forks -quick -block-interval 1s -record-trace trace.json
 package main
 
 import (
@@ -38,6 +39,9 @@ func main() {
 		obsWindow  = flag.Int("obs-window", 0, "bound per-node observation memory to the last N blocks of each round (0 = dense)")
 		shards     = flag.Int("shards", 0, "run each broadcast as a conservative parallel simulation over N node shards (0/1 = single queue; results are identical for any value)")
 		latMode    = flag.String("latency-mode", "auto", "edge-delay evaluation: auto, precomputed, or streaming (auto switches to streaming at 20k nodes)")
+		blockIntvl = flag.Duration("block-interval", 0, "mean block inter-arrival time for the forks workload scenario (0 = default 2s)")
+		traceFile  = flag.String("trace-file", "", "replay a recorded arrival trace in the forks scenario instead of generating one (requires -trials 1)")
+		recTrace   = flag.String("record-trace", "", "write the forks scenario's trial-0 arrival trace to this JSON file for later -trace-file replay")
 		adv        = flag.String("adversary", "", "run the adversary-<name> scenario for a built-in strategy (latency-liar, withholding, sybil-flood, eclipse-bias, partition)")
 		advFrac    = flag.Float64("adversary-frac", 0, "population share under adversary control in adversarial scenarios (0 = default 0.15)")
 		asJSON     = flag.Bool("json", false, "emit results as JSON instead of the text report")
@@ -73,6 +77,9 @@ func main() {
 	opt.LambdaSources = *lambdaSrc
 	opt.ObservationWindow = *obsWindow
 	opt.Shards = *shards
+	opt.BlockInterval = *blockIntvl
+	opt.TraceFile = *traceFile
+	opt.RecordTrace = *recTrace
 	switch strings.TrimSpace(*latMode) {
 	case "", "auto":
 		opt.LatencyMode = latency.Auto

@@ -16,6 +16,7 @@ import (
 	"github.com/perigee-net/perigee/internal/rng"
 	"github.com/perigee-net/perigee/internal/stats"
 	"github.com/perigee-net/perigee/internal/topology"
+	"github.com/perigee-net/perigee/internal/workload"
 )
 
 // Case is one named micro-benchmark.
@@ -39,6 +40,7 @@ func MicroCases() []Case {
 		{"MicroSubsetScoring", MicroSubsetScoring},
 		{"MicroEngineRound", MicroEngineRound},
 		{"MicroDurationPercentile", MicroDurationPercentile},
+		{"WorkloadHour", WorkloadHour},
 	}
 }
 
@@ -201,6 +203,62 @@ func MicroEngineRound(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := engine.Step(); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// WorkloadHour measures one simulated hour of the continuous-time
+// blockchain workload on a 300-node network: ~1800 Poisson block arrivals
+// at the default 2s interval, each broadcast through netsim, tracked in
+// every node's longest-chain view, with a timed topology round every 200s
+// of simulated time. One op is the whole run (engine construction
+// included), so allocs/op is deterministic and gated in scripts/bench.sh.
+func WorkloadHour(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		root := rng.New(5)
+		u, err := geo.SampleUniverse(300, root.Derive("universe"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		lat, err := latency.NewGeographic(u, root.Derive("latency"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		tbl, err := topology.Random(300, 8, 20, root.Derive("topology"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		forward := make([]time.Duration, 300)
+		power := make([]float64, 300)
+		for v := range forward {
+			forward[v] = 50 * time.Millisecond
+			power[v] = 1.0 / 300
+		}
+		params := core.DefaultParams(core.Subset)
+		engine, err := core.NewEngine(core.Config{
+			Method: core.Subset, Params: params, Table: tbl,
+			Latency: lat, Forward: forward, Power: power,
+			Rand: root.Derive("engine"),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		trace, err := workload.NewPoisson(root.Derive("trace"), power, 2*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := workload.Run(workload.Config{
+			Engine:        engine,
+			Trace:         trace,
+			Duration:      time.Hour,
+			RoundInterval: time.Duration(params.RoundBlocks) * 2 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.BlocksMined == 0 {
+			b.Fatal("workload mined no blocks")
 		}
 	}
 }

@@ -1,0 +1,326 @@
+package chain
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testChain builds a linear chain of n blocks on top of parent, with
+// nonces drawn from the given base so distinct branches never collide.
+func testChain(parent *Block, n int, base uint64) []*Block {
+	out := make([]*Block, n)
+	for i := range out {
+		out[i] = NewBlock(parent, nil, time.UnixMilli(int64(base)+int64(i)), base+uint64(i))
+		parent = out[i]
+	}
+	return out
+}
+
+func newTestStore(t *testing.T, tag string) (*Store, *Block) {
+	t.Helper()
+	g := NewGenesis(tag)
+	s, err := NewStore(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, g
+}
+
+// Equal-height forks must resolve to the earliest-seen block no matter in
+// which order AddAt learns about them.
+func TestAddAtTieBreaksBySeenTime(t *testing.T) {
+	g := NewGenesis("tie")
+	a := NewBlock(g, nil, time.UnixMilli(1), 1)
+	b := NewBlock(g, nil, time.UnixMilli(2), 2)
+
+	for _, order := range [][2]struct {
+		b    *Block
+		seen time.Duration
+	}{
+		{{a, 10 * time.Millisecond}, {b, 20 * time.Millisecond}},
+		{{b, 20 * time.Millisecond}, {a, 10 * time.Millisecond}},
+	} {
+		s, err := NewStore(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, off := range order {
+			if _, err := s.AddAt(off.b, off.seen); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := s.Tip().Header.Hash(); got != a.Header.Hash() {
+			t.Fatalf("tip %s, want earliest-seen block a (%s)", got, a.Header.Hash())
+		}
+	}
+}
+
+// Equal seen times fall back to the hash tie-break, still order-independent.
+func TestAddAtTieBreaksByHashOnEqualTimes(t *testing.T) {
+	g := NewGenesis("hash-tie")
+	a := NewBlock(g, nil, time.UnixMilli(1), 1)
+	b := NewBlock(g, nil, time.UnixMilli(2), 2)
+	want := a
+	if bytesCompare(b.Header.Hash(), a.Header.Hash()) < 0 {
+		want = b
+	}
+	for _, first := range []*Block{a, b} {
+		second := b
+		if first == b {
+			second = a
+		}
+		s, err := NewStore(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.AddAt(first, time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.AddAt(second, time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Tip().Header.Hash(); got != want.Header.Hash() {
+			t.Fatalf("tip %s, want hash-minimal block %s", got, want.Header.Hash())
+		}
+	}
+}
+
+func bytesCompare(a, b Hash) int {
+	for i := range a {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// The resolved tip must be identical for any concurrent interleaving of
+// AddAt calls — the property the continuous-time workload engine depends
+// on at every worker count.
+func TestAddAtDeterministicUnderConcurrency(t *testing.T) {
+	g := NewGenesis("conc-tie")
+	branchA := testChain(g, 5, 100)
+	branchB := testChain(g, 5, 200)
+	type offer struct {
+		b    *Block
+		seen time.Duration
+	}
+	var offers []offer
+	for i, b := range branchA {
+		offers = append(offers, offer{b, time.Duration(10+i) * time.Millisecond})
+	}
+	for i, b := range branchB {
+		// Same heights, strictly later seen times: branch A must win ties.
+		offers = append(offers, offer{b, time.Duration(15+i) * time.Millisecond})
+	}
+
+	reference, err := NewStore(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range offers {
+		if _, err := reference.AddAt(o.b, o.seen); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantTip := reference.Tip().Header.Hash()
+	if wantTip != branchA[len(branchA)-1].Header.Hash() {
+		t.Fatalf("reference tip is not branch A's head")
+	}
+
+	for trial := 0; trial < 20; trial++ {
+		shuffled := append([]offer(nil), offers...)
+		r := rand.New(rand.NewSource(int64(trial)))
+		r.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		s, err := NewStore(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := w; i < len(shuffled); i += 4 {
+					// Out-of-order offers may stash; that's fine — the
+					// parent's arrival reconnects them.
+					_, _ = s.AddAt(shuffled[i].b, shuffled[i].seen)
+				}
+			}()
+		}
+		wg.Wait()
+		// Re-offer anything still stranded (a child can race ahead of a
+		// parent that itself was stashed by another goroutine's ordering).
+		for s.OrphanCount() > 0 {
+			progressed := false
+			for _, o := range shuffled {
+				if s.Has(o.b.Header.Hash()) {
+					continue
+				}
+				if res, err := s.AddAt(o.b, o.seen); err == nil && !res.Stashed {
+					progressed = true
+				}
+			}
+			if !progressed {
+				break
+			}
+		}
+		if got := s.Tip().Header.Hash(); got != wantTip {
+			t.Fatalf("trial %d: tip %s, want %s", trial, got, wantTip)
+		}
+	}
+}
+
+// A child offered before its parent stashes, then reconnects — including
+// whole stashed sub-chains — when the parent arrives.
+func TestAddAtOrphanUnstashing(t *testing.T) {
+	s, g := newTestStore(t, "orphan")
+	chain := testChain(g, 4, 1)
+
+	// Offer 2, 3, 4 first: all stash (2's parent unknown; 3 waits on 2...).
+	for i := 3; i >= 1; i-- {
+		res, err := s.AddAt(chain[i], time.Duration(i)*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Stashed {
+			t.Fatalf("block %d should have stashed", i)
+		}
+	}
+	if got := s.OrphanCount(); got != 3 {
+		t.Fatalf("orphan count %d, want 3", got)
+	}
+	if s.Height() != 0 {
+		t.Fatalf("height %d before parent arrival, want 0", s.Height())
+	}
+
+	// The missing link connects everything in one cascade.
+	res, err := s.AddAt(chain[0], 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stashed || res.Connected != 4 {
+		t.Fatalf("connecting the base: %+v, want Connected=4", res)
+	}
+	if !res.TipChanged || res.ReorgDepth != 0 {
+		t.Fatalf("cascade should extend the tip without a reorg: %+v", res)
+	}
+	if s.OrphanCount() != 0 {
+		t.Fatalf("orphans remain after unstash: %d", s.OrphanCount())
+	}
+	if s.Height() != 4 {
+		t.Fatalf("height %d, want 4", s.Height())
+	}
+	if s.Tip().Header.Hash() != chain[3].Header.Hash() {
+		t.Fatal("tip is not the unstashed chain head")
+	}
+}
+
+// Reorg depth is the number of abandoned previously-canonical blocks.
+func TestAddAtReorgDepth(t *testing.T) {
+	s, g := newTestStore(t, "reorg")
+	short := testChain(g, 2, 10)
+	long := testChain(g, 3, 20)
+
+	for i, b := range short {
+		if _, err := s.AddAt(b, time.Duration(i)*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The rival branch stays behind until its third block.
+	for i, b := range long[:2] {
+		res, err := s.AddAt(b, time.Duration(100+i)*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TipChanged {
+			t.Fatalf("rival block %d moved the tip early", i)
+		}
+	}
+	res, err := s.AddAt(long[2], 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TipChanged || res.ReorgDepth != 2 {
+		t.Fatalf("overtaking reorg: %+v, want TipChanged with depth 2", res)
+	}
+	if s.Tip().Header.Hash() != long[2].Header.Hash() {
+		t.Fatal("tip did not move to the longer branch")
+	}
+
+	// Extending the new tip is depth 0.
+	ext := NewBlock(long[2], nil, time.UnixMilli(99), 99)
+	res, err = s.AddAt(ext, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TipChanged || res.ReorgDepth != 0 {
+		t.Fatalf("extension: %+v, want TipChanged with depth 0", res)
+	}
+}
+
+func TestAddAtDuplicates(t *testing.T) {
+	s, g := newTestStore(t, "dup")
+	b1 := NewBlock(g, nil, time.UnixMilli(1), 1)
+	if _, err := s.AddAt(b1, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddAt(b1, 2*time.Millisecond); !errors.Is(err, ErrDuplicateBlock) {
+		t.Fatalf("connected duplicate: %v", err)
+	}
+	orphan := NewBlock(b1, nil, time.UnixMilli(2), 2)
+	orphan2 := NewBlock(orphan, nil, time.UnixMilli(3), 3)
+	if res, err := s.AddAt(orphan2, time.Millisecond); err != nil || !res.Stashed {
+		t.Fatalf("stash: %+v, %v", res, err)
+	}
+	if _, err := s.AddAt(orphan2, 2*time.Millisecond); !errors.Is(err, ErrDuplicateBlock) {
+		t.Fatalf("stashed duplicate: %v", err)
+	}
+}
+
+func TestAddAtOrphanPoolCap(t *testing.T) {
+	s, g := newTestStore(t, "cap")
+	missing := NewBlock(g, nil, time.UnixMilli(1), 1)
+	next := missing
+	for i := 0; i < MaxOrphans; i++ {
+		child := NewBlock(next, nil, time.UnixMilli(int64(i)+2), uint64(i)+2)
+		res, err := s.AddAt(child, time.Duration(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Stashed {
+			t.Fatalf("block %d did not stash", i)
+		}
+		next = child
+	}
+	over := NewBlock(next, nil, time.UnixMilli(1<<20), 1<<20)
+	if _, err := s.AddAt(over, time.Hour); !errors.Is(err, ErrOrphanPoolFull) {
+		t.Fatalf("orphan pool overflow: %v", err)
+	}
+}
+
+// Add keeps its strict legacy semantics alongside AddAt.
+func TestAddStillRejectsOrphans(t *testing.T) {
+	s, g := newTestStore(t, "strict")
+	b1 := NewBlock(g, nil, time.UnixMilli(1), 1)
+	b2 := NewBlock(b1, nil, time.UnixMilli(2), 2)
+	if err := s.Add(b2); !errors.Is(err, ErrOrphanBlock) {
+		t.Fatalf("Add accepted an orphan: %v", err)
+	}
+	if err := s.Add(b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(b2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Height() != 2 {
+		t.Fatalf("height %d, want 2", s.Height())
+	}
+}

@@ -390,6 +390,10 @@ func (e *Engine) Table() *topology.Table { return e.table }
 // Params returns the protocol constants in use.
 func (e *Engine) Params() Params { return e.params }
 
+// Power returns the per-node hash power vector the engine samples block
+// sources from. The engine owns the slice; callers must not mutate it.
+func (e *Engine) Power() []float64 { return e.power }
+
 // Adjacency returns the current undirected communication graph including
 // pinned edges.
 func (e *Engine) Adjacency() [][]int {
@@ -506,40 +510,9 @@ func (e *Engine) arrivalBuffers(workers int) [][]time.Duration {
 // observations land in the per-block rows obs[v].Offsets[b], making the
 // scoring input independent of worker scheduling.
 func (e *Engine) Step() (RoundReport, error) {
-	n := e.table.N()
 	sim, err := e.ensureSim()
 	if err != nil {
 		return RoundReport{}, err
-	}
-	rs := &e.scratch
-
-	// Snapshot outgoing sets and locate each outgoing neighbor's slot in
-	// the (sorted) adjacency rows: outs[v] and the row are both ascending,
-	// so a merged walk finds every slot in one pass.
-	if cap(rs.outs) < n {
-		rs.outs = make([][]int, n)
-		rs.slot = make([][]int, n)
-		rs.obs = make([]Observations, n)
-	}
-	outs, slot, obs := rs.outs[:n], rs.slot[:n], rs.obs[:n]
-	rs.outs, rs.slot, rs.obs = outs, slot, obs
-	for v := 0; v < n; v++ {
-		outs[v] = e.table.AppendOutNeighbors(outs[v][:0], v)
-		row := sim.Row(v)
-		if cap(slot[v]) < len(outs[v]) {
-			slot[v] = make([]int, len(outs[v]))
-		}
-		slot[v] = slot[v][:len(outs[v])]
-		k := 0
-		for i, u := range outs[v] {
-			for k < len(row) && int(row[k]) != u {
-				k++
-			}
-			if k == len(row) {
-				return RoundReport{}, fmt.Errorf("core: internal: outgoing neighbor %d of %d missing from adjacency", u, v)
-			}
-			slot[v][i] = k
-		}
 	}
 	// An observation window keeps only the round's last `window` blocks;
 	// the earlier blocks' broadcasts are skipped entirely (blocks are
@@ -549,9 +522,11 @@ func (e *Engine) Step() (RoundReport, error) {
 	if e.obsWindow > 0 && e.obsWindow < window {
 		window = e.obsWindow
 	}
-	for v := 0; v < n; v++ {
-		obs[v].Reset(outs[v], window)
+	if err := e.prepareRound(sim, window); err != nil {
+		return RoundReport{}, err
 	}
+	rs := &e.scratch
+	obs, outs, slot := rs.obs[:e.table.N()], rs.outs[:e.table.N()], rs.slot[:e.table.N()]
 
 	// Broadcast phase. All RNG draws happen up front, on the single engine
 	// stream, in block order — every block's source is sampled even when a
@@ -595,6 +570,54 @@ func (e *Engine) Step() (RoundReport, error) {
 		}
 	}
 
+	return e.finishRound(obs, e.params.RoundBlocks)
+}
+
+// prepareRound snapshots every node's outgoing set, locates each outgoing
+// neighbor's slot in the (sorted) adjacency rows — outs[v] and the row are
+// both ascending, so a merged walk finds every slot in one pass — and
+// resets the observation matrices to `window` block rows, all into the
+// reusable scratch tables.
+func (e *Engine) prepareRound(sim *netsim.Simulator, window int) error {
+	n := e.table.N()
+	rs := &e.scratch
+	if cap(rs.outs) < n {
+		rs.outs = make([][]int, n)
+		rs.slot = make([][]int, n)
+		rs.obs = make([]Observations, n)
+	}
+	outs, slot, obs := rs.outs[:n], rs.slot[:n], rs.obs[:n]
+	rs.outs, rs.slot, rs.obs = outs, slot, obs
+	for v := 0; v < n; v++ {
+		outs[v] = e.table.AppendOutNeighbors(outs[v][:0], v)
+		row := sim.Row(v)
+		if cap(slot[v]) < len(outs[v]) {
+			slot[v] = make([]int, len(outs[v]))
+		}
+		slot[v] = slot[v][:len(outs[v])]
+		k := 0
+		for i, u := range outs[v] {
+			for k < len(row) && int(row[k]) != u {
+				k++
+			}
+			if k == len(row) {
+				return fmt.Errorf("core: internal: outgoing neighbor %d of %d missing from adjacency", u, v)
+			}
+			slot[v][i] = k
+		}
+	}
+	for v := 0; v < n; v++ {
+		obs[v].Reset(outs[v], window)
+	}
+	return nil
+}
+
+// finishRound runs everything after a round's broadcast phase: observation
+// tampering, the synchronous selector update, the round counter, observer
+// telemetry, and dynamics. blocks is the block count recorded in the
+// report (the timed driver's rounds have variable batch sizes).
+func (e *Engine) finishRound(obs []Observations, blocks int) (RoundReport, error) {
+	n := e.table.N()
 	// Adversarial observation tampering runs between measurement and
 	// decision: whatever the tamper hook writes is what the selectors see.
 	if e.tamper != nil {
@@ -613,7 +636,7 @@ func (e *Engine) Step() (RoundReport, error) {
 	}
 	e.round++
 	report.Round = e.round
-	report.Blocks = e.params.RoundBlocks
+	report.Blocks = blocks
 	if ev != nil {
 		ev.Report = report
 		e.observer.ObserveRound(*ev)

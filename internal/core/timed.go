@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/perigee-net/perigee/internal/netsim"
+	"github.com/perigee-net/perigee/internal/parallel"
+)
+
+// TimedRound is the engine's time-triggered driver mode. Where Step owns a
+// whole round — sampling RoundBlocks sources itself and broadcasting them as
+// one synchronized batch — a TimedRound lets an external clock own the
+// schedule: the caller (typically the continuous-time workload engine)
+// decides how many blocks fell inside the round's wall-clock interval and
+// which miners produced them, the engine contributes its broadcast fabric
+// and per-neighbor measurement, and the selector update fires when the
+// caller says the interval has elapsed.
+//
+// The sequence is Begin → BroadcastAll → Finish. Observations are collected
+// into the same scratch tables Step uses, so a timed round and a Step round
+// with identical sources produce identical selector decisions.
+type TimedRound struct {
+	e      *Engine
+	sim    *netsim.Simulator
+	blocks int
+	window int
+	sent   bool
+	done   bool
+}
+
+// BeginTimedRound opens a timed round that will carry `blocks` blocks. The
+// engine's observation window applies exactly as in Step: only the last
+// min(blocks, ObservationWindow) blocks feed the selector, though every
+// block is still propagated (the caller needs all arrival times to evolve
+// chain state). The round holds the engine's start-of-round topology; the
+// caller must not mutate connections until Finish returns.
+func BeginTimedRound(e *Engine, blocks int) (*TimedRound, error) {
+	if blocks <= 0 {
+		return nil, fmt.Errorf("core: timed round needs at least one block, got %d", blocks)
+	}
+	sim, err := e.ensureSim()
+	if err != nil {
+		return nil, err
+	}
+	window := blocks
+	if e.obsWindow > 0 && e.obsWindow < window {
+		window = e.obsWindow
+	}
+	if err := e.prepareRound(sim, window); err != nil {
+		return nil, err
+	}
+	return &TimedRound{e: e, sim: sim, blocks: blocks, window: window}, nil
+}
+
+// Blocks returns the round's declared block count.
+func (t *TimedRound) Blocks() int { return t.blocks }
+
+// BroadcastAll propagates every block of the round from its source node and
+// harvests per-neighbor observations for the blocks inside the window (the
+// trailing t.Blocks()-window blocks; earlier ones still propagate for the
+// caller but are invisible to the selector, mirroring Step's semantics).
+//
+// sources must have length t.Blocks(). When arrivals is non-nil it must
+// also have length t.Blocks(); arrivals[b] is grown to N and filled with
+// block b's per-node arrival time (netsim.InfDuration where the block never
+// arrives), owned by the caller afterwards.
+//
+// Blocks fan out over the engine's worker pool exactly as in Step; with
+// Shards > 1 each broadcast is itself sharded and blocks run sequentially.
+// Either way the result is bit-for-bit independent of Workers and Shards.
+func (t *TimedRound) BroadcastAll(sources []int, arrivals [][]time.Duration) error {
+	if t.done {
+		return fmt.Errorf("core: timed round already finished")
+	}
+	if t.sent {
+		return fmt.Errorf("core: timed round already broadcast")
+	}
+	if len(sources) != t.blocks {
+		return fmt.Errorf("core: timed round declared %d blocks, got %d sources", t.blocks, len(sources))
+	}
+	if arrivals != nil && len(arrivals) != t.blocks {
+		return fmt.Errorf("core: timed round declared %d blocks, got %d arrival buffers", t.blocks, len(arrivals))
+	}
+	e := t.e
+	n := e.table.N()
+	for b, src := range sources {
+		if src < 0 || src >= n {
+			return fmt.Errorf("core: timed round block %d source %d out of range [0,%d)", b, src, n)
+		}
+	}
+	t.sent = true
+	rs := &e.scratch
+	obs, outs, slot := rs.obs[:n], rs.outs[:n], rs.slot[:n]
+	skip := t.blocks - t.window
+
+	harvest := func(res netsim.Result, b int) {
+		if arrivals != nil {
+			if cap(arrivals[b]) < n {
+				arrivals[b] = make([]time.Duration, n)
+			}
+			arrivals[b] = arrivals[b][:n]
+			copy(arrivals[b], res.Arrival)
+		}
+		if row := b - skip; row >= 0 {
+			harvestObservations(res, row, obs, outs, slot)
+		}
+	}
+
+	if e.shards > 1 {
+		shb, err := e.shardedBroadcaster(t.sim)
+		if err != nil {
+			return err
+		}
+		for b, src := range sources {
+			res, err := shb.Broadcast(src)
+			if err != nil {
+				return err
+			}
+			harvest(res, b)
+		}
+		return nil
+	}
+	workers := e.workerCount(len(sources))
+	bcs := e.broadcasters(t.sim, workers)
+	return parallel.ForEachIndexed(len(sources), workers, func(worker, b int) error {
+		res, err := bcs[worker].Broadcast(sources[b])
+		if err != nil {
+			return err
+		}
+		harvest(res, b)
+		return nil
+	})
+}
+
+// Finish closes the round: observation tampering, the synchronous selector
+// update, round accounting, observer telemetry, and dynamics — byte-for-byte
+// the same tail Step runs. Finish may be called without BroadcastAll (every
+// observation is then censored, which selectors already handle), but calling
+// either method after Finish is an error.
+func (t *TimedRound) Finish() (RoundReport, error) {
+	if t.done {
+		return RoundReport{}, fmt.Errorf("core: timed round already finished")
+	}
+	t.done = true
+	e := t.e
+	return e.finishRound(e.scratch.obs[:e.table.N()], t.blocks)
+}

@@ -51,9 +51,9 @@ func TestOptionsValidation(t *testing.T) {
 
 func TestIDsAndDescribe(t *testing.T) {
 	ids := IDs()
-	// 9 paper figures/theorems + 6 extensions + the adversary strategies
+	// 9 paper figures/theorems + 7 extensions + the adversary strategies
 	// + the ablation sweeps.
-	if want := 15 + len(adversaryScenarios()) + len(Ablations()); len(ids) != want {
+	if want := 16 + len(adversaryScenarios()) + len(Ablations()); len(ids) != want {
 		t.Fatalf("got %d experiment IDs, want %d: %v", len(ids), want, ids)
 	}
 	for _, id := range ids {

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// forksConformanceOptions is the workload-conformance scale: long enough
+// (16 topology rounds, ~650 blocks at a 1s interval) that Perigee-Subset
+// spends most of the run on a converged topology and stale events are
+// plentiful, small enough for CI.
+func forksConformanceOptions(seed uint64) Options {
+	opt := conformanceOptions(seed)
+	opt.AdversaryFraction = 0 // clean network
+	opt.Rounds = 16
+	opt.BlockInterval = time.Second
+	return opt
+}
+
+// The paper's propagation advantage must convert into fork economics:
+// Perigee-Subset's stale-block rate is below the static random baseline's
+// at a one-sided 95% confidence bound over the conformance seeds. Every
+// arm of a seed replays the identical arrival trace, so the comparison is
+// paired — the workload itself contributes no variance.
+func TestConformanceSubsetStaleRateBeatsRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("conformance suite")
+	}
+	var diffs []float64
+	for _, seed := range conformanceSeeds {
+		res, err := Forks(forksConformanceOptions(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var subset, random *WorkloadSeries
+		for i := range res.Workloads {
+			switch res.Workloads[i].Label {
+			case LabelSubset:
+				subset = &res.Workloads[i]
+			case LabelRandom:
+				random = &res.Workloads[i]
+			}
+		}
+		if subset == nil || random == nil {
+			t.Fatalf("missing workload arms in %v", res.Workloads)
+		}
+		for _, rep := range res.Workloads {
+			for _, r := range rep.Reports {
+				if r.BlocksMined == 0 || r.CanonicalBlocks == 0 {
+					t.Fatalf("%s: degenerate workload report %+v", rep.Label, r)
+				}
+				if r.CanonicalBlocks+r.StaleBlocks != r.BlocksMined {
+					t.Fatalf("%s: accounting violated: %+v", rep.Label, r)
+				}
+			}
+		}
+		if random.MeanStaleRate == 0 {
+			t.Fatalf("seed %d: random baseline produced no stale blocks — scale too easy to discriminate", seed)
+		}
+		diffs = append(diffs, random.MeanStaleRate-subset.MeanStaleRate)
+		t.Logf("seed %d: subset stale %.4f, random stale %.4f", seed, subset.MeanStaleRate, random.MeanStaleRate)
+	}
+	if lcb := lowerConfBound(diffs); lcb <= 0 {
+		t.Fatalf("subset stale-rate advantage not significant: per-seed diffs %v, 95%% lower bound %.5f", diffs, lcb)
+	}
+}

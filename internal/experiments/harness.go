@@ -21,6 +21,7 @@ import (
 	"github.com/perigee-net/perigee/internal/rng"
 	"github.com/perigee-net/perigee/internal/stats"
 	"github.com/perigee-net/perigee/internal/topology"
+	"github.com/perigee-net/perigee/internal/workload"
 )
 
 // Options configure an experiment run. The zero value is not valid; use
@@ -86,6 +87,20 @@ type Options struct {
 	// the protocol engines and the evaluation simulators (zero = Auto,
 	// which switches to streaming at 20k nodes).
 	LatencyMode latency.Mode
+	// BlockInterval is the mean block inter-arrival time for the
+	// continuous-time workload scenarios ("forks"). Zero means the
+	// default of 2s; topology rounds then span RoundBlocks*BlockInterval
+	// of simulated time and the run lasts Rounds such intervals.
+	BlockInterval time.Duration
+	// TraceFile, when set, replays a recorded arrival trace (see
+	// internal/workload's TraceFile codec) instead of generating a
+	// Poisson workload. Replay pins the exact block schedule, so it
+	// requires Trials == 1. Ignored by the non-workload scenarios.
+	TraceFile string
+	// RecordTrace, when set, writes trial 0's consumed arrival trace to
+	// the given path, ready for TraceFile replay. Ignored by the
+	// non-workload scenarios.
+	RecordTrace string
 }
 
 // ValidationModel selects the per-node validation delay distribution.
@@ -171,7 +186,19 @@ func (o Options) validate() error {
 	if !o.LatencyMode.Valid() {
 		return fmt.Errorf("experiments: invalid latency mode %d", int(o.LatencyMode))
 	}
+	if o.BlockInterval < 0 {
+		return fmt.Errorf("experiments: block interval %v must be non-negative", o.BlockInterval)
+	}
 	return nil
+}
+
+// blockInterval resolves the workload block interval, mapping the zero
+// value to the 2s default.
+func (o Options) blockInterval() time.Duration {
+	if o.BlockInterval == 0 {
+		return 2 * time.Second
+	}
+	return o.BlockInterval
 }
 
 // adversaryFraction resolves the adversary share, mapping the zero value
@@ -223,8 +250,25 @@ type Result struct {
 	// Histograms (Figure 5 only) maps algorithm label to its converged
 	// edge-latency histogram.
 	Histograms map[string]*stats.Histogram
+	// Workloads (continuous-time scenarios only) holds one fork-economics
+	// summary per algorithm arm, in arm order.
+	Workloads []WorkloadSeries `json:",omitempty"`
 	// Options echoes the configuration that produced the result.
 	Options Options
+}
+
+// WorkloadSeries is one arm's continuous-time workload results: the full
+// per-trial reports plus cross-trial means of the headline rates.
+type WorkloadSeries struct {
+	// Label names the algorithm as in the paper's legend.
+	Label string `json:"label"`
+	// Reports holds the per-trial fork-economics reports.
+	Reports []*workload.Report `json:"reports"`
+	// MeanStaleRate, MeanForkRate, and MeanRevenueSkew average the
+	// corresponding per-trial report fields.
+	MeanStaleRate   float64 `json:"mean_stale_rate"`
+	MeanForkRate    float64 `json:"mean_fork_rate"`
+	MeanRevenueSkew float64 `json:"mean_revenue_skew"`
 }
 
 // SeriesByLabel returns the named series or an error.

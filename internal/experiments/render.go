@@ -81,6 +81,7 @@ func builtinScenarios() map[string]Scenario {
 	add("eclipse", "neighborhood capture by fast adversaries vs exploration", Eclipse)
 	add("convergence", "per-round 90%/50% coverage delay trajectories (§5.2)", Convergence)
 	add("scale", "large-n convergence: streaming latency, windows, landmarks, shards", Scale)
+	add("forks", "continuous-time workload: fork rate, stale blocks, revenue skew", Forks)
 
 	// Pluggable adversary strategies (internal/adversary), one scenario
 	// each: honest-node λ for Subset/Vanilla/Random under attack vs clean.
@@ -178,6 +179,13 @@ func (r *Result) Render() string {
 		for _, label := range sortedHistogramLabels(r) {
 			fmt.Fprintf(&b, "\n-- %s edge-latency histogram (ms) --\n", label)
 			b.WriteString(r.Histograms[label].Render(40))
+		}
+	}
+	if len(r.Workloads) > 0 {
+		fmt.Fprintf(&b, "\n%-20s %12s %12s %12s\n", "workload", "stale rate", "fork rate", "rev. skew")
+		for _, w := range r.Workloads {
+			fmt.Fprintf(&b, "%-20s %12.4f %12.4f %12.4f\n",
+				w.Label, w.MeanStaleRate, w.MeanForkRate, w.MeanRevenueSkew)
 		}
 	}
 	for _, note := range r.Notes {

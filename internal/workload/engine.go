@@ -1,0 +1,269 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/perigee-net/perigee/internal/chain"
+	"github.com/perigee-net/perigee/internal/core"
+	"github.com/perigee-net/perigee/internal/des"
+	"github.com/perigee-net/perigee/internal/stats"
+)
+
+// staticBatch bounds how many blocks a static-topology run broadcasts per
+// netsim batch. Partitioning is invisible in the results (no topology
+// update ever fires between batches and event replay order is a pure merge
+// by timestamp), so the cap only bounds arrival-buffer memory.
+const staticBatch = 256
+
+// Config describes one continuous-time workload run.
+type Config struct {
+	// Engine is the configured Perigee engine: topology, latency model,
+	// selector, and hash power. The workload drives it in timed-round
+	// mode; the caller must not Step it concurrently.
+	Engine *core.Engine
+	// Trace is the block-production schedule. Use NewPoisson (or Gamma /
+	// Weibull) for generated workloads, TraceFile.Trace for replays, and
+	// RecordingTrace to capture the consumed events.
+	Trace Trace
+	// Duration is the simulated run length; events at or after Duration
+	// are not consumed.
+	Duration time.Duration
+	// RoundInterval is the Perigee topology-round period: every elapsed
+	// interval, the blocks mined within it become the selector's
+	// observations and the engine updates connections. Zero keeps the
+	// topology static for the whole run (the baseline arms).
+	RoundInterval time.Duration
+}
+
+func (cfg *Config) validate() error {
+	if cfg.Engine == nil {
+		return fmt.Errorf("workload: nil engine")
+	}
+	if cfg.Trace == nil {
+		return fmt.Errorf("workload: nil trace")
+	}
+	if cfg.Duration <= 0 {
+		return fmt.Errorf("workload: duration %v must be positive", cfg.Duration)
+	}
+	if cfg.RoundInterval < 0 {
+		return fmt.Errorf("workload: round interval %v must be non-negative", cfg.RoundInterval)
+	}
+	return nil
+}
+
+// Run simulates the workload over continuous time and returns the run's
+// fork-economics Report.
+//
+// The clock is event-driven. Each topology round (or fixed-size batch when
+// the topology is static) first drains the trace for the blocks mined in
+// its interval and propagates them through netsim's broadcast fabric over
+// the round's topology — block contents never influence propagation, so
+// arrival times can be computed up front in parallel. Chain state then
+// replays sequentially in simulated-time order: before each mining event,
+// every strictly earlier delivery lands (stashing blocks that beat their
+// parents to a node, counting the reorgs tip switches cause), and the
+// miner extends whatever its own view holds as the tip at that instant —
+// two miners inside one another's propagation delay therefore extend the
+// same parent and fork the chain. A miner holds its own block immediately;
+// every other node receives it at mining time plus netsim's arrival delay.
+// Deliveries still in flight when a round ends simply land in later
+// rounds, and ties resolve deterministically (deliveries at exactly a
+// mining event's timestamp land after it; equal-time deliveries land in
+// mining order), so a run is a pure function of (engine config, trace,
+// duration, round interval) — bit-for-bit identical at any Workers or
+// Shards setting.
+//
+// The canonical chain is arbitrated by a single chain.Store fed every
+// block at its mining time: longest chain wins, height ties go to the
+// first-mined block. Blocks off that chain are stale; their miners earn
+// nothing.
+func Run(cfg Config) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	e := cfg.Engine
+	n := e.N()
+
+	genesis := chain.NewGenesis("workload")
+	store, err := chain.NewStore(genesis)
+	if err != nil {
+		return nil, err
+	}
+	views := newViews(n)
+	blocks := []*chain.Block{genesis}
+	minedBy := []int32{-1}
+	ids := map[chain.Hash]int32{genesis.Header.Hash(): 0}
+	epoch := time.Unix(0, 0).UTC()
+
+	var queue des.DeliveryQueue
+	drainUntil := func(at time.Duration) {
+		for queue.Len() > 0 {
+			d := queue.PeekMin()
+			if d.At >= at {
+				return
+			}
+			queue.PopMin()
+			views.deliver(int(d.Node), d.Slot)
+		}
+	}
+
+	// One-event lookahead over the trace: batch draining must see the
+	// first event beyond its boundary without losing it.
+	pending, pendingOK := cfg.Trace.Next()
+	lastAt := time.Duration(0)
+
+	var batchAt []time.Duration
+	var sources []int
+	var arrivals [][]time.Duration
+	rounds := 0
+
+	for start := time.Duration(0); start < cfg.Duration && (pendingOK || queue.Len() > 0); {
+		end := cfg.Duration
+		if cfg.RoundInterval > 0 && start+cfg.RoundInterval < end {
+			end = start + cfg.RoundInterval
+		}
+
+		// Drain the trace for this interval's block-production events.
+		batchAt, sources = batchAt[:0], sources[:0]
+		for pendingOK && pending.At < end {
+			if pending.At < lastAt {
+				return nil, fmt.Errorf("workload: trace time went backwards: %v after %v", pending.At, lastAt)
+			}
+			if pending.Miner < 0 || pending.Miner >= n {
+				return nil, fmt.Errorf("workload: trace miner %d outside [0, %d)", pending.Miner, n)
+			}
+			lastAt = pending.At
+			batchAt = append(batchAt, pending.At)
+			sources = append(sources, pending.Miner)
+			pending, pendingOK = cfg.Trace.Next()
+			if cfg.RoundInterval == 0 && len(batchAt) == staticBatch {
+				break
+			}
+		}
+
+		if len(batchAt) == 0 {
+			drainUntil(end)
+			start = end
+			continue
+		}
+
+		// Propagation first: arrival times for the whole batch, over this
+		// round's topology, via the engine's broadcast fabric.
+		tr, err := core.BeginTimedRound(e, len(batchAt))
+		if err != nil {
+			return nil, err
+		}
+		for len(arrivals) < len(batchAt) {
+			arrivals = append(arrivals, nil)
+		}
+		if err := tr.BroadcastAll(sources, arrivals[:len(batchAt)]); err != nil {
+			return nil, err
+		}
+
+		// Chain state second: replay deliveries and mining events in
+		// simulated-time order.
+		for k, at := range batchAt {
+			drainUntil(at)
+			miner := sources[k]
+			parent := views.tip[miner]
+			id := views.addBlock(parent)
+			blk := chain.NewBlock(blocks[parent], nil, epoch.Add(at), uint64(id))
+			blocks = append(blocks, blk)
+			minedBy = append(minedBy, int32(miner))
+			ids[blk.Header.Hash()] = id
+			if _, err := store.AddAt(blk, at); err != nil {
+				return nil, fmt.Errorf("workload: canonical store rejected block %d: %w", id, err)
+			}
+			views.deliver(miner, id)
+			for node, d := range arrivals[k] {
+				if node == miner || d >= stats.InfDuration {
+					continue
+				}
+				queue.Push(des.Delivery{At: at + d, Node: int32(node), Slot: id})
+			}
+		}
+
+		// Round boundary: the interval's blocks are exactly what the
+		// selector observed; fire the topology update. Empty intervals
+		// never reach here and skip the update — there is nothing to
+		// score.
+		if cfg.RoundInterval > 0 {
+			if _, err := tr.Finish(); err != nil {
+				return nil, err
+			}
+			rounds++
+		}
+		if cfg.RoundInterval == 0 && pendingOK && pending.At < end {
+			continue // the static batch cap truncated this interval
+		}
+		start = end
+	}
+	drainUntil(cfg.Duration)
+
+	return buildReport(cfg, n, e.Power(), store, views, minedBy, ids, rounds)
+}
+
+func buildReport(cfg Config, n int, power []float64, store *chain.Store, views *views,
+	minedBy []int32, ids map[chain.Hash]int32, rounds int) (*Report, error) {
+	mined := len(minedBy) - 1 // genesis excluded
+	rep := &Report{
+		Nodes:         n,
+		DurationNS:    cfg.Duration.Nanoseconds(),
+		Rounds:        rounds,
+		BlocksMined:   mined,
+		Reorgs:        views.reorgs,
+		MaxReorgDepth: views.maxDepth,
+		Revenue:       make([]int, n),
+	}
+
+	// The canonical chain, from the arbiter store's tip back to genesis.
+	canonical := 0
+	for b := store.Tip(); b.Header.Height > 0; {
+		id, ok := ids[b.Header.Hash()]
+		if !ok {
+			return nil, fmt.Errorf("workload: canonical block %s not interned", b.Header.Hash())
+		}
+		rep.Revenue[minedBy[id]]++
+		canonical++
+		b = store.Get(b.Header.PrevHash)
+		if b == nil {
+			return nil, fmt.Errorf("workload: canonical chain broke below height %d", canonical)
+		}
+	}
+	rep.CanonicalBlocks = canonical
+	rep.StaleBlocks = mined - canonical
+
+	// Fork events: blocks (genesis included) with two or more children.
+	children := make([]int, len(views.parent))
+	for id := 1; id < len(views.parent); id++ {
+		children[views.parent[id]]++
+	}
+	for _, c := range children {
+		if c >= 2 {
+			rep.ForkEvents++
+		}
+	}
+
+	if mined > 0 {
+		rep.StaleRate = float64(rep.StaleBlocks) / float64(mined)
+		rep.ForkRate = float64(rep.ForkEvents) / float64(mined)
+	}
+
+	// Revenue skew: half the L1 distance between revenue share and hash
+	// power share.
+	if canonical > 0 {
+		var total float64
+		for _, p := range power {
+			total += p
+		}
+		var l1 float64
+		for i, p := range power {
+			share := float64(rep.Revenue[i]) / float64(canonical)
+			l1 += math.Abs(share - p/total)
+		}
+		rep.RevenueSkew = l1 / 2
+	}
+	return rep, nil
+}

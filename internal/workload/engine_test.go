@@ -1,0 +1,324 @@
+package workload
+
+import (
+	"encoding/json"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/perigee-net/perigee/internal/chain"
+	"github.com/perigee-net/perigee/internal/core"
+	"github.com/perigee-net/perigee/internal/geo"
+	"github.com/perigee-net/perigee/internal/hashpower"
+	"github.com/perigee-net/perigee/internal/latency"
+	"github.com/perigee-net/perigee/internal/rng"
+	"github.com/perigee-net/perigee/internal/topology"
+)
+
+// newTestEngine builds a small geographic Perigee engine for workload
+// tests, with explicit Workers/Shards so determinism tests can vary them.
+func newTestEngine(t *testing.T, n int, seed uint64, workers, shards int) (*core.Engine, []float64) {
+	t.Helper()
+	root := rng.New(seed)
+	u, err := geo.SampleUniverse(n, root.Derive("universe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, err := latency.NewGeographic(u, root.Derive("latency"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := topology.Random(n, 8, 20, root.Derive("topology"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	forward := make([]time.Duration, n)
+	fr := root.Derive("forward")
+	for i := range forward {
+		forward[i] = time.Duration(fr.ExpFloat64() * float64(50*time.Millisecond))
+	}
+	power, err := hashpower.Exponential(n, root.Derive("power"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewEngine(core.Config{
+		Method:  core.Subset,
+		Params:  core.DefaultParams(core.Subset),
+		Table:   tbl,
+		Latency: lat,
+		Forward: forward,
+		Power:   power,
+		Rand:    root.Derive("engine"),
+		Workers: workers,
+		Shards:  shards,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, power
+}
+
+func runPoisson(t *testing.T, workers, shards int) []byte {
+	t.Helper()
+	eng, power := newTestEngine(t, 120, 11, workers, shards)
+	trace, err := NewPoisson(rng.New(11).Derive("trace"), power, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(Config{
+		Engine:        eng,
+		Trace:         trace,
+		Duration:      4 * time.Minute,
+		RoundInterval: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestRunBasicAccounting(t *testing.T) {
+	eng, power := newTestEngine(t, 120, 11, 0, 0)
+	trace, err := NewPoisson(rng.New(11).Derive("trace"), power, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(Config{
+		Engine:        eng,
+		Trace:         trace,
+		Duration:      4 * time.Minute,
+		RoundInterval: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BlocksMined == 0 {
+		t.Fatal("no blocks mined")
+	}
+	// 240s at a 2s mean: crude 3-sigma band around 120 blocks.
+	if rep.BlocksMined < 60 || rep.BlocksMined > 200 {
+		t.Fatalf("blocks mined %d wildly off the 2s mean over 4m", rep.BlocksMined)
+	}
+	if rep.CanonicalBlocks+rep.StaleBlocks != rep.BlocksMined {
+		t.Fatalf("canonical %d + stale %d != mined %d", rep.CanonicalBlocks, rep.StaleBlocks, rep.BlocksMined)
+	}
+	if rep.CanonicalBlocks == 0 {
+		t.Fatal("empty canonical chain")
+	}
+	if rep.Rounds != 8 {
+		t.Fatalf("rounds %d, want 8 (4m / 30s)", rep.Rounds)
+	}
+	total := 0
+	for _, r := range rep.Revenue {
+		total += r
+	}
+	if total != rep.CanonicalBlocks {
+		t.Fatalf("revenue sums to %d, want %d", total, rep.CanonicalBlocks)
+	}
+	if rep.RevenueSkew < 0 || rep.RevenueSkew > 1 {
+		t.Fatalf("revenue skew %v outside [0, 1]", rep.RevenueSkew)
+	}
+	if rep.StaleRate < 0 || rep.StaleRate >= 1 {
+		t.Fatalf("stale rate %v out of range", rep.StaleRate)
+	}
+}
+
+// Same seed + same trace must produce a bit-for-bit identical report at any
+// Workers count and any Shards count — the determinism the replay codec
+// and the conformance CI both stand on.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	base := runPoisson(t, 1, 0)
+	if got := runPoisson(t, 8, 0); string(got) != string(base) {
+		t.Fatalf("Workers=8 report diverged:\n%s\nvs\n%s", got, base)
+	}
+}
+
+func TestRunDeterministicAcrossShards(t *testing.T) {
+	base := runPoisson(t, 0, 1)
+	if got := runPoisson(t, 0, 4); string(got) != string(base) {
+		t.Fatalf("Shards=4 report diverged:\n%s\nvs\n%s", got, base)
+	}
+}
+
+// Recording a run and replaying the recorded trace must reproduce the
+// report byte for byte, through the on-disk codec.
+func TestRunReplayByteEqual(t *testing.T) {
+	const n = 120
+	eng, power := newTestEngine(t, n, 23, 0, 0)
+	gen, err := NewPoisson(rng.New(23).Derive("trace"), power, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recorded := &TraceFile{Version: TraceVersion, Nodes: n}
+	cfg := Config{
+		Engine:        eng,
+		Trace:         RecordingTrace(gen, recorded),
+		Duration:      3 * time.Minute,
+		RoundInterval: 30 * time.Second,
+	}
+	rep1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data1, err := json.Marshal(rep1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := recorded.WriteTraceFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng2, _ := newTestEngine(t, n, 23, 0, 0)
+	cfg2 := cfg
+	cfg2.Engine = eng2
+	cfg2.Trace = loaded.Trace()
+	rep2, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := json.Marshal(rep2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data1) != string(data2) {
+		t.Fatalf("replay diverged:\n%s\nvs\n%s", data2, data1)
+	}
+}
+
+// A static topology must never fire a round, and batch partitioning at the
+// staticBatch boundary must not show up in the results.
+func TestRunStaticTopology(t *testing.T) {
+	eng, power := newTestEngine(t, 120, 31, 0, 0)
+	trace, err := NewPoisson(rng.New(31).Derive("trace"), power, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(Config{Engine: eng, Trace: trace, Duration: 5 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rounds != 0 {
+		t.Fatalf("static run fired %d rounds", rep.Rounds)
+	}
+	if rep.BlocksMined <= staticBatch {
+		t.Fatalf("test meant to cross the static batch boundary, mined only %d", rep.BlocksMined)
+	}
+	if rep.CanonicalBlocks+rep.StaleBlocks != rep.BlocksMined {
+		t.Fatalf("accounting broke across batches: %+v", rep)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	eng, power := newTestEngine(t, 40, 1, 0, 0)
+	trace, err := NewPoisson(rng.New(1), power, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Engine: nil, Trace: trace, Duration: time.Minute},
+		{Engine: eng, Trace: nil, Duration: time.Minute},
+		{Engine: eng, Trace: trace, Duration: 0},
+		{Engine: eng, Trace: trace, Duration: time.Minute, RoundInterval: -time.Second},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Fatalf("config %d accepted", i)
+		}
+	}
+	// A trace whose miner is out of range fails mid-run.
+	tf := &TraceFile{Version: TraceVersion, Nodes: 400, Arrivals: []TraceArrival{{AtNS: 1, Miner: 300}}}
+	if _, err := Run(Config{Engine: eng, Trace: tf.Trace(), Duration: time.Minute}); err == nil {
+		t.Fatal("out-of-range miner accepted")
+	}
+	// So does one that runs backwards (bypassing the codec's validation).
+	back := &replayTrace{arrivals: []TraceArrival{{AtNS: 5e8, Miner: 1}, {AtNS: 1e8, Miner: 2}}}
+	if _, err := Run(Config{Engine: eng, Trace: back, Duration: time.Minute}); err == nil {
+		t.Fatal("backwards trace accepted")
+	}
+}
+
+// The compact per-node views must agree with real chain.Store instances
+// fed the same delivery schedule — the equivalence that licenses not
+// keeping n stores.
+func TestViewsMatchChainStores(t *testing.T) {
+	const (
+		nodes  = 8
+		blocks = 120
+	)
+	r := rand.New(rand.NewSource(99))
+	genesis := chain.NewGenesis("views-equiv")
+
+	v := newViews(nodes)
+	stores := make([]*chain.Store, nodes)
+	for i := range stores {
+		s, err := chain.NewStore(genesis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores[i] = s
+	}
+
+	// Grow a random block DAG: each block extends a uniformly random
+	// existing block (lots of forks), then delivers to every node in a
+	// random order at increasing times — children often beating parents.
+	real := []*chain.Block{genesis}
+	type delivery struct {
+		at   time.Duration
+		node int
+		id   int32
+	}
+	var schedule []delivery
+	now := time.Duration(0)
+	for b := 1; b <= blocks; b++ {
+		parent := int32(r.Intn(b))
+		id := v.addBlock(parent)
+		blk := chain.NewBlock(real[parent], nil, time.UnixMilli(int64(b)), uint64(b))
+		real = append(real, blk)
+		for _, node := range r.Perm(nodes) {
+			now += time.Millisecond
+			schedule = append(schedule, delivery{at: now, node: node, id: id})
+		}
+	}
+	r.Shuffle(len(schedule), func(i, j int) {
+		// Shuffle only within coarse windows to keep times increasing per
+		// node while still reordering parent/child arrivals.
+		if abs(i-j) < 3*nodes {
+			schedule[i].at, schedule[j].at = schedule[j].at, schedule[i].at
+			schedule[i], schedule[j] = schedule[j], schedule[i]
+		}
+	})
+
+	for _, d := range schedule {
+		v.deliver(d.node, d.id)
+		if _, err := stores[d.node].AddAt(real[d.id], d.at); err != nil {
+			t.Fatalf("store rejected delivery: %v", err)
+		}
+	}
+	for node, s := range stores {
+		// Flush the store's stash-free model: stores stash internally too,
+		// so after all deliveries both must agree on the tip height...
+		wantTip := s.Tip().Header.Hash()
+		got := real[v.tip[node]].Header.Hash()
+		if got != wantTip {
+			t.Fatalf("node %d: views tip %s, store tip %s", node, got, wantTip)
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

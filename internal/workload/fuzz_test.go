@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+// fuzzSeedTraces is the in-code half of the seed corpus: well-formed
+// traces of increasing complexity (testdata/fuzz/FuzzDecodeTrace holds
+// the committed JSON of the same set plus malformed variants).
+func fuzzSeedTraces() map[string]*TraceFile {
+	return map[string]*TraceFile{
+		"seed-empty-trace": {Version: TraceVersion, Nodes: 1, Arrivals: []TraceArrival{}},
+		"seed-single": {Version: TraceVersion, Nodes: 4, Arrivals: []TraceArrival{
+			{AtNS: 0, Miner: 3},
+		}},
+		"seed-multi": {Version: TraceVersion, Nodes: 16, Arrivals: []TraceArrival{
+			{AtNS: 1_500_000_000, Miner: 0},
+			{AtNS: 2_250_000_000, Miner: 15},
+			{AtNS: 2_250_000_000, Miner: 7}, // equal timestamps are legal
+			{AtNS: 9_000_000_000, Miner: 1},
+		}},
+	}
+}
+
+// fuzzMalformedTraces are committed regressions for every validation
+// branch: bad version, bad node count, negative and backwards timestamps,
+// out-of-range miners, and JSON that is not a trace at all.
+func fuzzMalformedTraces() map[string]string {
+	return map[string]string{
+		"seed-not-json":      `{"version": 1,`,
+		"seed-wrong-type":    `[1, 2, 3]`,
+		"seed-bad-version":   `{"version": 99, "nodes": 4, "arrivals": []}`,
+		"seed-zero-nodes":    `{"version": 1, "nodes": 0, "arrivals": []}`,
+		"seed-negative-time": `{"version": 1, "nodes": 4, "arrivals": [{"at_ns": -5, "miner": 0}]}`,
+		"seed-backwards":     `{"version": 1, "nodes": 4, "arrivals": [{"at_ns": 10, "miner": 0}, {"at_ns": 3, "miner": 1}]}`,
+		"seed-miner-range":   `{"version": 1, "nodes": 4, "arrivals": [{"at_ns": 1, "miner": 4}]}`,
+		"seed-miner-neg":     `{"version": 1, "nodes": 4, "arrivals": [{"at_ns": 1, "miner": -1}]}`,
+	}
+}
+
+// FuzzDecodeTrace feeds arbitrary bytes to the trace codec: decoding must
+// never panic, every accepted trace must satisfy its own invariants, must
+// replay without the engine's mid-run validation tripping, and must
+// round-trip through Encode bit-for-bit.
+func FuzzDecodeTrace(f *testing.F) {
+	for _, tf := range fuzzSeedTraces() {
+		data, err := tf.Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	for _, data := range fuzzMalformedTraces() {
+		f.Add([]byte(data))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tf, err := DecodeTrace(data)
+		if err != nil {
+			return
+		}
+		if err := tf.Validate(); err != nil {
+			t.Fatalf("decoded trace fails its own validation: %v", err)
+		}
+		// Replay must be clean: nondecreasing, in-range, exhausting.
+		tr := tf.Trace()
+		prev := time.Duration(-1)
+		count := 0
+		for {
+			a, ok := tr.Next()
+			if !ok {
+				break
+			}
+			if a.At < 0 || a.At < prev {
+				t.Fatalf("replay out of order at event %d: %v after %v", count, a.At, prev)
+			}
+			if a.Miner < 0 || a.Miner >= tf.Nodes {
+				t.Fatalf("replay miner %d outside [0, %d)", a.Miner, tf.Nodes)
+			}
+			prev = a.At
+			count++
+		}
+		if count != len(tf.Arrivals) {
+			t.Fatalf("replay yielded %d events, trace holds %d", count, len(tf.Arrivals))
+		}
+		// Encode → decode → encode must be a fixed point.
+		enc1, err := tf.Encode()
+		if err != nil {
+			t.Fatalf("encoding a valid trace: %v", err)
+		}
+		tf2, err := DecodeTrace(enc1)
+		if err != nil {
+			t.Fatalf("re-decoding own encoding: %v", err)
+		}
+		enc2, err := tf2.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(enc1) != string(enc2) {
+			t.Fatalf("encode is not a fixed point:\n%s\nvs\n%s", enc1, enc2)
+		}
+	})
+}

@@ -1,0 +1,37 @@
+package workload
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGenerateSeedCorpus writes the committed seed corpus for
+// FuzzDecodeTrace. Run with WORKLOAD_GEN_CORPUS=1 after changing the seed
+// sets in fuzz_test.go, then commit testdata/fuzz.
+func TestGenerateSeedCorpus(t *testing.T) {
+	if os.Getenv("WORKLOAD_GEN_CORPUS") == "" {
+		t.Skip("corpus generator")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeTrace")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, data []byte) {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, tf := range fuzzSeedTraces() {
+		data, err := tf.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		write(name, data)
+	}
+	for name, data := range fuzzMalformedTraces() {
+		write(name, []byte(data))
+	}
+}

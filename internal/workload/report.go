@@ -1,0 +1,42 @@
+package workload
+
+// Report is a run's fork-economics summary: what the workload's block
+// races cost, per the canonical chain the run converged to. All fields are
+// plain values and slices (no maps, no NaN-able divisions), so
+// encoding/json renders a Report deterministically — replaying a recorded
+// trace reproduces the generating run's report byte for byte.
+type Report struct {
+	// Nodes is the network size.
+	Nodes int `json:"nodes"`
+	// DurationNS is the simulated run length in nanoseconds.
+	DurationNS int64 `json:"duration_ns"`
+	// Rounds is how many Perigee topology rounds fired (0 when the
+	// topology was static).
+	Rounds int `json:"rounds"`
+	// BlocksMined counts every block produced by the trace.
+	BlocksMined int `json:"blocks_mined"`
+	// CanonicalBlocks is the length of the winning chain (genesis
+	// excluded).
+	CanonicalBlocks int `json:"canonical_blocks"`
+	// StaleBlocks counts mined blocks that did not make the canonical
+	// chain — the direct waste slow propagation causes.
+	StaleBlocks int `json:"stale_blocks"`
+	// StaleRate is StaleBlocks / BlocksMined (0 for an empty run).
+	StaleRate float64 `json:"stale_rate"`
+	// ForkEvents counts blocks that ended up with two or more children —
+	// each is a moment the network visibly split.
+	ForkEvents int `json:"fork_events"`
+	// ForkRate is ForkEvents / BlocksMined (0 for an empty run).
+	ForkRate float64 `json:"fork_rate"`
+	// Reorgs counts tip switches (across all nodes) that abandoned at
+	// least one previously-canonical block.
+	Reorgs int `json:"reorgs"`
+	// MaxReorgDepth is the deepest such switch anywhere in the run.
+	MaxReorgDepth int `json:"max_reorg_depth"`
+	// RevenueSkew is half the L1 distance between the revenue-share and
+	// hash-power-share vectors: 0 when every miner earned exactly its
+	// power share, approaching 1 as rewards concentrate unfairly.
+	RevenueSkew float64 `json:"revenue_skew"`
+	// Revenue is the canonical-block count per miner.
+	Revenue []int `json:"revenue"`
+}

@@ -1,0 +1,177 @@
+// Package workload drives the Perigee engine with a continuous-time
+// blockchain workload: miners produce blocks at random simulated wall-clock
+// times, blocks race through the network over the zero-alloc netsim fabric,
+// every node maintains a longest-chain first-seen view, and topology rounds
+// fire on elapsed time rather than block counts.
+//
+// Where the lockstep round driver (core.Engine.Step) measures how fast
+// blocks arrive, this package measures what slow arrivals cost: forks,
+// stale blocks, and mining-revenue skew. Two blocks mined within one
+// another's propagation delay extend the same parent, the network splits,
+// and exactly one branch survives — the loser's miner earned nothing. The
+// headline Report metrics (ForkRate, StaleRate, RevenueSkew) quantify that,
+// per selector, alongside the λ percentiles the rest of the repository
+// already reports.
+//
+// Arrival processes are pluggable via the Trace interface and replayable
+// bit-for-bit: the Poisson, Gamma, and Weibull generators are deterministic
+// functions of an rng.RNG stream, and any trace can be materialized to a
+// JSON TraceFile and replayed to reproduce a run's Report byte for byte.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/perigee-net/perigee/internal/hashpower"
+	"github.com/perigee-net/perigee/internal/rng"
+)
+
+// Arrival is one block-production event: at simulated time At, node Miner
+// finds a block (on whatever its view's tip is at that moment).
+type Arrival struct {
+	// At is the absolute simulated time of the event.
+	At time.Duration
+	// Miner is the producing node.
+	Miner int
+}
+
+// Trace is a stream of block-production events in nondecreasing time
+// order. Next returns ok=false when the trace is exhausted; generator
+// traces are infinite and only a recorded TraceFile ever exhausts.
+type Trace interface {
+	Next() (Arrival, bool)
+}
+
+// generator turns a stream of i.i.d. inter-arrival draws into an infinite
+// Trace: each event advances the clock by one draw and picks the miner by
+// hash power. The interval is always drawn before the miner, so every
+// generator consumes its RNG stream identically.
+type generator struct {
+	r        *rng.RNG
+	sampler  *hashpower.Sampler
+	now      time.Duration
+	interval func(*rng.RNG) time.Duration
+}
+
+func (g *generator) Next() (Arrival, bool) {
+	g.now += g.interval(g.r)
+	return Arrival{At: g.now, Miner: g.sampler.Sample(g.r)}, true
+}
+
+func newGenerator(r *rng.RNG, power []float64, interval func(*rng.RNG) time.Duration) (Trace, error) {
+	if r == nil {
+		return nil, fmt.Errorf("workload: nil rng")
+	}
+	sampler, err := hashpower.NewSampler(power)
+	if err != nil {
+		return nil, err
+	}
+	return &generator{r: r, sampler: sampler, interval: interval}, nil
+}
+
+// NewPoisson returns the standard mining model: exponential inter-arrival
+// times with the given mean (a Poisson process, matching proof-of-work
+// difficulty retargeting), miners drawn proportionally to power.
+func NewPoisson(r *rng.RNG, power []float64, mean time.Duration) (Trace, error) {
+	if mean <= 0 {
+		return nil, fmt.Errorf("workload: mean block interval %v must be positive", mean)
+	}
+	return newGenerator(r, power, func(r *rng.RNG) time.Duration {
+		return time.Duration(r.ExpFloat64() * float64(mean))
+	})
+}
+
+// NewGamma returns a Gamma(shape) renewal process normalized to the given
+// mean inter-arrival time. shape > 1 is more regular than Poisson (a crude
+// stand-in for partially synchronized block production), shape < 1 is
+// burstier; shape = 1 recovers the exponential.
+func NewGamma(r *rng.RNG, power []float64, mean time.Duration, shape float64) (Trace, error) {
+	if mean <= 0 {
+		return nil, fmt.Errorf("workload: mean block interval %v must be positive", mean)
+	}
+	if shape <= 0 {
+		return nil, fmt.Errorf("workload: gamma shape %v must be positive", shape)
+	}
+	// Gamma(shape, 1) has mean `shape`; dividing by shape normalizes.
+	scale := float64(mean) / shape
+	return newGenerator(r, power, func(r *rng.RNG) time.Duration {
+		return time.Duration(gammaDraw(r, shape) * scale)
+	})
+}
+
+// NewWeibull returns a Weibull(shape) renewal process normalized to the
+// given mean inter-arrival time: scale = mean / Γ(1 + 1/shape). shape = 1
+// recovers the exponential; shape < 1 has a heavy tail of long gaps.
+func NewWeibull(r *rng.RNG, power []float64, mean time.Duration, shape float64) (Trace, error) {
+	if mean <= 0 {
+		return nil, fmt.Errorf("workload: mean block interval %v must be positive", mean)
+	}
+	if shape <= 0 {
+		return nil, fmt.Errorf("workload: weibull shape %v must be positive", shape)
+	}
+	scale := float64(mean) / math.Gamma(1+1/shape)
+	inv := 1 / shape
+	return newGenerator(r, power, func(r *rng.RNG) time.Duration {
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return time.Duration(scale * math.Pow(-math.Log(u), inv))
+	})
+}
+
+// gammaDraw samples Gamma(shape, 1) by Marsaglia–Tsang, boosting shapes
+// below one through Gamma(shape+1) and a uniform power correction.
+func gammaDraw(r *rng.RNG, shape float64) float64 {
+	if shape < 1 {
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return gammaDraw(r, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Materialize drains t up to (but excluding) horizon into a validated
+// TraceFile for n nodes. A workload run of the same duration consumes
+// exactly the materialized events, so replaying the file reproduces the
+// run.
+func Materialize(t Trace, horizon time.Duration, n int) (*TraceFile, error) {
+	if t == nil {
+		return nil, fmt.Errorf("workload: nil trace")
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("workload: horizon %v must be positive", horizon)
+	}
+	tf := &TraceFile{Version: TraceVersion, Nodes: n, Arrivals: []TraceArrival{}}
+	for {
+		a, ok := t.Next()
+		if !ok || a.At >= horizon {
+			break
+		}
+		tf.Arrivals = append(tf.Arrivals, TraceArrival{AtNS: a.At.Nanoseconds(), Miner: a.Miner})
+	}
+	if err := tf.Validate(); err != nil {
+		return nil, err
+	}
+	return tf, nil
+}

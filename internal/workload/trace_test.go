@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/perigee-net/perigee/internal/rng"
+)
+
+func drainMean(t *testing.T, tr Trace, events int) (mean time.Duration, last Arrival) {
+	t.Helper()
+	prev := time.Duration(0)
+	for i := 0; i < events; i++ {
+		a, ok := tr.Next()
+		if !ok {
+			t.Fatalf("generator exhausted after %d events", i)
+		}
+		if a.At < prev {
+			t.Fatalf("event %d at %v before %v", i, a.At, prev)
+		}
+		prev = a.At
+		last = a
+	}
+	return last.At / time.Duration(events), last
+}
+
+// Every generator must hit its requested mean inter-arrival time.
+func TestGeneratorMeans(t *testing.T) {
+	const mean = 2 * time.Second
+	power := []float64{0.5, 0.3, 0.2}
+	cases := []struct {
+		name string
+		mk   func(*rng.RNG) (Trace, error)
+	}{
+		{"poisson", func(r *rng.RNG) (Trace, error) { return NewPoisson(r, power, mean) }},
+		{"gamma-0.5", func(r *rng.RNG) (Trace, error) { return NewGamma(r, power, mean, 0.5) }},
+		{"gamma-4", func(r *rng.RNG) (Trace, error) { return NewGamma(r, power, mean, 4) }},
+		{"weibull-0.8", func(r *rng.RNG) (Trace, error) { return NewWeibull(r, power, mean, 0.8) }},
+		{"weibull-2", func(r *rng.RNG) (Trace, error) { return NewWeibull(r, power, mean, 2) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr, err := tc.mk(rng.New(5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _ := drainMean(t, tr, 20000)
+			if ratio := float64(got) / float64(mean); math.Abs(ratio-1) > 0.05 {
+				t.Fatalf("empirical mean %v, want %v within 5%%", got, mean)
+			}
+		})
+	}
+}
+
+// Miner draws must follow hash power.
+func TestGeneratorMinerShares(t *testing.T) {
+	power := []float64{0.7, 0.2, 0.1}
+	tr, err := NewPoisson(rng.New(9), power, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const events = 20000
+	counts := make([]int, len(power))
+	for i := 0; i < events; i++ {
+		a, _ := tr.Next()
+		counts[a.Miner]++
+	}
+	for i, p := range power {
+		share := float64(counts[i]) / events
+		if math.Abs(share-p) > 0.02 {
+			t.Fatalf("miner %d share %.3f, want %.3f", i, share, p)
+		}
+	}
+}
+
+// Generators are pure functions of their stream: same seed, same trace.
+func TestGeneratorDeterminism(t *testing.T) {
+	power := []float64{0.25, 0.25, 0.25, 0.25}
+	for i := 0; i < 2; i++ {
+		a, err := NewGamma(rng.New(77).Derive("trace"), power, time.Second, 2.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewGamma(rng.New(77).Derive("trace"), power, time.Second, 2.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 1000; j++ {
+			x, _ := a.Next()
+			y, _ := b.Next()
+			if x != y {
+				t.Fatalf("event %d diverged: %+v vs %+v", j, x, y)
+			}
+		}
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	power := []float64{1}
+	r := rng.New(1)
+	if _, err := NewPoisson(nil, power, time.Second); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+	if _, err := NewPoisson(r, power, 0); err == nil {
+		t.Fatal("zero mean accepted")
+	}
+	if _, err := NewGamma(r, power, time.Second, 0); err == nil {
+		t.Fatal("zero gamma shape accepted")
+	}
+	if _, err := NewWeibull(r, power, time.Second, -1); err == nil {
+		t.Fatal("negative weibull shape accepted")
+	}
+	if _, err := NewPoisson(r, nil, time.Second); err == nil {
+		t.Fatal("empty power accepted")
+	}
+}
+
+// Materialize captures exactly the pre-horizon events, and the resulting
+// file replays to the same arrivals a fresh generator produces.
+func TestMaterializeReplay(t *testing.T) {
+	power := []float64{0.6, 0.4}
+	mk := func() Trace {
+		tr, err := NewPoisson(rng.New(3), power, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	const horizon = 2 * time.Minute
+	tf, err := Materialize(mk(), horizon, len(power))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tf.Arrivals) == 0 {
+		t.Fatal("empty materialization")
+	}
+	replay := tf.Trace()
+	fresh := mk()
+	for i := range tf.Arrivals {
+		want, _ := fresh.Next()
+		got, ok := replay.Next()
+		if !ok || got != want {
+			t.Fatalf("event %d: replay %+v, generator %+v (ok=%v)", i, got, want, ok)
+		}
+		if got.At >= horizon {
+			t.Fatalf("event %d at %v crossed the horizon", i, got.At)
+		}
+	}
+	if _, ok := replay.Next(); ok {
+		t.Fatal("replay outlived its file")
+	}
+}

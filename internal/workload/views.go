@@ -1,0 +1,145 @@
+package workload
+
+// views holds every node's longest-chain first-seen view over the run's
+// shared block metadata. A naive implementation would give each of n nodes
+// its own chain.Store holding real blocks — n copies of hashes and headers
+// for data that differs only in arrival order. Instead blocks are interned
+// once into flat metadata arrays (parent, height, miner) and each node
+// keeps just a tip pointer, a received bitset, and a small stash of blocks
+// waiting for a parent. The chain.Store semantics are preserved exactly —
+// an equivalence test in engine_test.go replays runs against real per-node
+// stores — at a few bits per (node, block) instead of a store per node.
+type views struct {
+	// Shared block metadata, indexed by block id (0 = genesis).
+	parent []int32
+	height []int32
+
+	// Per-node state.
+	tip   []int32    // id of the node's current best block
+	have  [][]uint64 // received-block bitsets
+	stash [][]int32  // received blocks whose parent the node lacks
+
+	// Aggregate reorg telemetry across all nodes.
+	reorgs   int
+	maxDepth int
+}
+
+func newViews(n int) *views {
+	v := &views{
+		parent: make([]int32, 1, 64),
+		height: make([]int32, 1, 64),
+		tip:    make([]int32, n),
+		have:   make([][]uint64, n),
+		stash:  make([][]int32, n),
+	}
+	v.parent[0] = -1 // genesis
+	for i := range v.have {
+		v.have[i] = make([]uint64, 1)
+		v.have[i][0] = 1 // everyone starts holding genesis
+	}
+	return v
+}
+
+// addBlock interns a new block's metadata and returns its id.
+func (v *views) addBlock(parent int32) int32 {
+	id := int32(len(v.parent))
+	v.parent = append(v.parent, parent)
+	v.height = append(v.height, v.height[parent]+1)
+	return id
+}
+
+func (v *views) has(node int, b int32) bool {
+	w := int(b) >> 6
+	return w < len(v.have[node]) && v.have[node][w]&(1<<(uint(b)&63)) != 0
+}
+
+func (v *views) mark(node int, b int32) {
+	w := int(b) >> 6
+	for len(v.have[node]) <= w {
+		v.have[node] = append(v.have[node], 0)
+	}
+	v.have[node][w] |= 1 << (uint(b) & 63)
+}
+
+// connected reports whether node holds b and b's whole ancestry — the
+// stash discipline guarantees a held parent is a connected parent, so
+// holding b's parent is sufficient.
+func (v *views) connected(node int, b int32) bool {
+	p := v.parent[b]
+	return p < 0 || v.has(node, p)
+}
+
+// deliver hands block b to node at its arrival: stash it when the parent
+// has not arrived, otherwise connect it and cascade through any stashed
+// descendants it unblocks. Deliveries are idempotent.
+func (v *views) deliver(node int, b int32) {
+	if v.has(node, b) {
+		return
+	}
+	if !v.has(node, v.parent[b]) {
+		for _, c := range v.stash[node] {
+			if c == b {
+				return
+			}
+		}
+		v.stash[node] = append(v.stash[node], b)
+		return
+	}
+	v.mark(node, b)
+	v.maybeAdvanceTip(node, b)
+	// Cascade: connecting b may unblock stashed blocks, whose connection
+	// may unblock more. The stash is scanned in insertion order and stays
+	// tiny (only reorg-window races land there), so the rescan loop is
+	// cheap; order does not matter because heights decide the tip and the
+	// final connected set is order-independent.
+	st := v.stash[node]
+	for progressed := true; progressed; {
+		progressed = false
+		kept := st[:0]
+		for _, c := range st {
+			if v.has(node, v.parent[c]) {
+				v.mark(node, c)
+				v.maybeAdvanceTip(node, c)
+				progressed = true
+			} else {
+				kept = append(kept, c)
+			}
+		}
+		st = kept
+	}
+	v.stash[node] = st
+}
+
+// maybeAdvanceTip applies the longest-chain first-seen rule: the tip moves
+// only to a strictly higher block (an equal-height rival arrived later by
+// construction, since deliveries are processed in arrival order). A move
+// that abandons previously-canonical blocks is a reorg of that depth.
+func (v *views) maybeAdvanceTip(node int, b int32) {
+	old := v.tip[node]
+	if v.height[b] <= v.height[old] {
+		return
+	}
+	v.tip[node] = b
+	if v.parent[b] == old {
+		return // plain extension, the common case
+	}
+	// Walk b back to old's height, then both back to the common ancestor;
+	// the old-branch distance is the reorg depth (0 when old is an
+	// ancestor of b, e.g. after connecting a stashed multi-block cascade).
+	a := b
+	for v.height[a] > v.height[old] {
+		a = v.parent[a]
+	}
+	depth := 0
+	for a != old {
+		a = v.parent[a]
+		old = v.parent[old]
+		depth++
+	}
+	if depth > 0 {
+		v.reorgs++
+		if depth > v.maxDepth {
+			v.maxDepth = depth
+		}
+	}
+}

@@ -35,6 +35,10 @@ type settings struct {
 	obsWindow      int
 	shards         int
 
+	workloadProc  ArrivalProcess
+	blockInterval time.Duration
+	traceFile     string
+
 	selector      Selector
 	latency       LatencyModel
 	power         PowerDist
@@ -218,6 +222,49 @@ func WithShards(k int) Option {
 			return fmt.Errorf("perigee: shard count %d must be non-negative", k)
 		}
 		s.shards = k
+		return nil
+	}
+}
+
+// WithWorkload selects the arrival process RunWorkload uses to schedule
+// block production: PoissonArrivals (the default), GammaArrivals,
+// WeibullArrivals, or any custom ArrivalProcess. Ignored when
+// WithTraceFile replays a recorded trace.
+func WithWorkload(p ArrivalProcess) Option {
+	return func(s *settings) error {
+		if p == nil {
+			return fmt.Errorf("perigee: nil arrival process")
+		}
+		s.workloadProc = p
+		return nil
+	}
+}
+
+// WithBlockInterval sets the mean block inter-arrival time for RunWorkload
+// (default 2s). Shorter intervals relative to propagation delay raise the
+// fork and stale-block rates; the interval also paces topology rounds
+// (one per RoundBlocks × interval of simulated time).
+func WithBlockInterval(d time.Duration) Option {
+	return func(s *settings) error {
+		if d <= 0 {
+			return fmt.Errorf("perigee: block interval %v must be positive", d)
+		}
+		s.blockInterval = d
+		return nil
+	}
+}
+
+// WithTraceFile replays a recorded arrival trace (a JSON TraceFile written
+// by the forks scenario's RecordTrace option or the workload codec) in
+// place of a generated process: RunWorkload consumes exactly the recorded
+// events, reproducing the recorded run's workload bit-for-bit. The file's
+// node count must match the network size.
+func WithTraceFile(path string) Option {
+	return func(s *settings) error {
+		if path == "" {
+			return fmt.Errorf("perigee: empty trace-file path")
+		}
+		s.traceFile = path
 		return nil
 	}
 }
@@ -425,7 +472,15 @@ func New(nodes int, opts ...Option) (*Network, error) {
 		return nil, err
 	}
 
-	net := &Network{scoring: s.scoring, observers: s.observers, dynamics: s.dynamics}
+	net := &Network{
+		scoring:       s.scoring,
+		observers:     s.observers,
+		dynamics:      s.dynamics,
+		workloadProc:  s.workloadProc,
+		blockInterval: s.blockInterval,
+		traceFile:     s.traceFile,
+		workloadRand:  root.Derive("workload"),
+	}
 	cfg := core.Config{
 		Method:   s.scoring.method(),
 		Params:   params,

@@ -265,6 +265,12 @@ type Network struct {
 	dynamics     Dynamics
 	dynRand      *Rand
 	adversaryEnv *AdversaryEnv
+
+	workloadProc  ArrivalProcess
+	blockInterval time.Duration
+	traceFile     string
+	workloadRand  *Rand
+	workloadRuns  int
 }
 
 // RoundSummary reports one protocol round.
