@@ -10,8 +10,8 @@
 //
 // Usage:
 //
-//	perigee-bench [-out BENCH_PR7.json] [-filter Broadcast] [-set-baseline] [-list]
-//	perigee-bench -out BENCH_PR7.json -diff BENCH_PR6.json -max-regress 0.20
+//	perigee-bench [-out BENCH_PR8.json] [-filter Broadcast] [-set-baseline] [-list]
+//	perigee-bench -out BENCH_PR8.json -diff BENCH_PR7.json -max-regress 0.20
 //
 // With -diff, the freshly measured results are compared against the named
 // report's results section: the run fails if any shared case regresses by
@@ -60,7 +60,7 @@ type Report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR7.json", "output JSON path; an existing file's baseline section is preserved")
+	out := flag.String("out", "BENCH_PR8.json", "output JSON path; an existing file's baseline section is preserved")
 	filter := flag.String("filter", "", "only run cases whose name contains this substring")
 	setBaseline := flag.Bool("set-baseline", false, "store this run as the baseline section too (first run of a PR)")
 	list := flag.Bool("list", false, "list case names and exit")

@@ -1,0 +1,65 @@
+// Command perigee-serve exposes the scenario registry as a long-lived
+// HTTP/JSON service: clients submit experiments, watch their RoundEvents
+// and decision traces stream as NDJSON, and identical resubmissions are
+// answered from the result cache.
+//
+//	perigee-serve -addr :8080
+//	curl localhost:8080/scenarios
+//	curl -X POST localhost:8080/jobs -d '{"scenario":"figure3a","quick":true}'
+//	curl localhost:8080/jobs/j001-ab12cd34/events
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/perigee-net/perigee/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		queue     = flag.Int("queue", 16, "queued-job limit; submissions beyond it get HTTP 503")
+		workers   = flag.Int("workers", 1, "jobs run concurrently (each job already parallelizes its trials)")
+		maxEvents = flag.Int("max-events", 0, "per-job event-log cap (0 = default 200000)")
+		grace     = flag.Duration("grace", time.Minute, "shutdown grace period for running jobs")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Config{QueueSize: *queue, Workers: *workers, MaxEvents: *maxEvents})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "perigee-serve listening on %s (queue %d, %d worker(s))\n", *addr, *queue, *workers)
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "perigee-serve: %v\n", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "perigee-serve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "perigee-serve: http shutdown: %v\n", err)
+	}
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "perigee-serve: %v\n", err)
+		os.Exit(1)
+	}
+}

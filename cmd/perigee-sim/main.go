@@ -9,6 +9,7 @@
 //	perigee-sim -all -quick -out results.md
 //	perigee-sim -adversary withholding -adversary-frac 0.2 -quick
 //	perigee-sim -scenario forks -quick -block-interval 1s -record-trace trace.json
+//	perigee-sim -scenario figure3a -quick -trace-level decisions -counterfactual-k 3
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 
 	"github.com/perigee-net/perigee/internal/experiments"
 	"github.com/perigee-net/perigee/internal/latency"
+	"github.com/perigee-net/perigee/internal/trace"
 )
 
 func main() {
@@ -42,6 +44,8 @@ func main() {
 		blockIntvl = flag.Duration("block-interval", 0, "mean block inter-arrival time for the forks workload scenario (0 = default 2s)")
 		traceFile  = flag.String("trace-file", "", "replay a recorded arrival trace in the forks scenario instead of generating one (requires -trials 1)")
 		recTrace   = flag.String("record-trace", "", "write the forks scenario's trial-0 arrival trace to this JSON file for later -trace-file replay")
+		traceLevel = flag.String("trace-level", "off", "decision tracing: off, decisions, or inputs (adds per-round regret tables to traced reports)")
+		cfK        = flag.Int("counterfactual-k", 0, "counterfactually re-score this many dropped alternatives per decision (requires -trace-level)")
 		adv        = flag.String("adversary", "", "run the adversary-<name> scenario for a built-in strategy (latency-liar, withholding, sybil-flood, eclipse-bias, partition)")
 		advFrac    = flag.Float64("adversary-frac", 0, "population share under adversary control in adversarial scenarios (0 = default 0.15)")
 		asJSON     = flag.Bool("json", false, "emit results as JSON instead of the text report")
@@ -91,6 +95,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown -latency-mode %q (want auto, precomputed, or streaming)\n", *latMode)
 		os.Exit(2)
 	}
+	level, err := trace.ParseLevel(strings.TrimSpace(*traceLevel))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
+	opt.TraceLevel = int(level)
+	opt.CounterfactualK = *cfK
 
 	selected := *scenario
 	if selected == "" {
@@ -116,6 +127,32 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Fail fast: validate the whole invocation — every scenario ID, the
+	// resolved option set, and the flag combinations — before any trial
+	// runs, so a typo in the third scenario of a multi-hour sweep does not
+	// surface after the first two finished.
+	for i := range ids {
+		ids[i] = strings.TrimSpace(ids[i])
+	}
+	for _, id := range ids {
+		if _, err := experiments.Describe(id); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *traceFile != "" && opt.Trials != 1 {
+		fmt.Fprintf(os.Stderr, "-trace-file replays one recorded workload and requires -trials 1 (resolved trials: %d)\n", opt.Trials)
+		os.Exit(2)
+	}
+	if (*traceFile != "" || *recTrace != "") && len(ids) > 1 {
+		fmt.Fprintln(os.Stderr, "-trace-file/-record-trace apply to a single scenario; drop -all or the extra -scenario IDs")
+		os.Exit(2)
+	}
+	if err := experiments.Validate(opt); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
+
 	var sink *os.File
 	if *out != "" {
 		f, err := os.OpenFile(*out, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
@@ -128,33 +165,38 @@ func main() {
 	}
 
 	for _, id := range ids {
-		id = strings.TrimSpace(id)
 		start := time.Now()
 		res, err := experiments.Run(id, opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "scenario %s: %v\n", id, err)
 			os.Exit(1)
 		}
-		var rendered string
 		if *asJSON {
 			buf, err := json.MarshalIndent(res, "", "  ")
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "scenario %s: encoding JSON: %v\n", id, err)
 				os.Exit(1)
 			}
-			rendered = string(buf) + "\n"
-			fmt.Print(rendered)
+			fmt.Println(string(buf))
 		} else {
-			rendered = res.Render()
-			fmt.Printf("%s(completed in %v)\n\n", rendered, time.Since(start).Round(time.Second))
+			fmt.Printf("%s(completed in %v)\n\n", res.Render(), time.Since(start).Round(time.Second))
 		}
 		if sink != nil {
 			if *asJSON {
-				// Raw JSON documents (one per scenario), machine-consumable —
-				// the nightly workflow uploads this file as an artifact.
-				fmt.Fprint(sink, rendered)
+				// NDJSON: one compact document per line, so the file stays
+				// machine-parseable for any number of scenarios and appended
+				// runs — json.load works on a single-scenario file, and line
+				// iteration works on multi-scenario sweeps. (The file used to
+				// concatenate indented objects, which no JSON parser accepts
+				// once a second scenario lands.)
+				line, err := json.Marshal(res)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "scenario %s: encoding JSON: %v\n", id, err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(sink, "%s\n", line)
 			} else {
-				fmt.Fprintf(sink, "```\n%s```\n\n", rendered)
+				fmt.Fprintf(sink, "```\n%s```\n\n", res.Render())
 			}
 		}
 	}

@@ -167,6 +167,10 @@ type Config struct {
 	// fanned over the engine worker pool. Results stay bit-for-bit
 	// identical at any shard count. Zero or 1 means the single-queue path.
 	Shards int
+	// Trace enables decision tracing and counterfactual evaluation (see
+	// TraceConfig). The zero value disables both; with tracing off the
+	// round loop carries only dead branches and allocates nothing for it.
+	Trace TraceConfig
 }
 
 // Engine runs the Perigee protocol round by round over the simulated
@@ -197,6 +201,7 @@ type Engine struct {
 	shards    int
 	observer  Observer
 	dynamics  Dynamics
+	trace     TraceConfig
 
 	round int
 
@@ -224,6 +229,16 @@ type roundScratch struct {
 	sources    []int
 	decisions  []Decision
 	arrivals   [][]time.Duration
+
+	// Tracing scratch (used only when Config.Trace enables tracing):
+	// pending counterfactual queries carried into the next round, their
+	// per-block hypothetical offset rows, and reusable score/censored/rank
+	// buffers for the sequential emit pass.
+	cfPending     []cfQuery
+	cfOffsets     [][]time.Duration
+	cfRank        []int
+	traceScores   []time.Duration
+	traceCensored []int
 }
 
 // RoundReport summarizes one protocol round.
@@ -341,6 +356,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.Shards < 0 {
 		return nil, fmt.Errorf("core: shard count %d must be non-negative", cfg.Shards)
 	}
+	if err := cfg.Trace.validate(); err != nil {
+		return nil, err
+	}
 	sampler, err := hashpower.NewSampler(cfg.Power)
 	if err != nil {
 		return nil, err
@@ -374,6 +392,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		shards:       cfg.Shards,
 		observer:     cfg.Observer,
 		dynamics:     cfg.Dynamics,
+		trace:        cfg.Trace,
 	}
 	return e, nil
 }
@@ -553,6 +572,9 @@ func (e *Engine) Step() (RoundReport, error) {
 				return RoundReport{}, err
 			}
 			harvestObservations(res, b, obs, outs, slot)
+			if len(rs.cfPending) > 0 {
+				e.harvestCounterfactuals(res, b)
+			}
 		}
 	} else {
 		workers := e.workerCount(len(observed))
@@ -563,6 +585,9 @@ func (e *Engine) Step() (RoundReport, error) {
 				return err
 			}
 			harvestObservations(res, b, obs, outs, slot)
+			if len(rs.cfPending) > 0 {
+				e.harvestCounterfactuals(res, b)
+			}
 			return nil
 		})
 		if err != nil {
@@ -609,6 +634,7 @@ func (e *Engine) prepareRound(sim *netsim.Simulator, window int) error {
 	for v := 0; v < n; v++ {
 		obs[v].Reset(outs[v], window)
 	}
+	e.prepareCounterfactuals(window)
 	return nil
 }
 
@@ -624,6 +650,13 @@ func (e *Engine) finishRound(obs []Observations, blocks int) (RoundReport, error
 		for v := 0; v < n; v++ {
 			e.tamper(v, obs[v].Neighbors, obs[v].Offsets)
 		}
+	}
+	// Counterfactuals scheduled by the previous round's decisions are
+	// evaluated against this round's (post-tamper) observations — the same
+	// data the selectors are about to see — and streamed before this
+	// round's decision records.
+	if len(e.scratch.cfPending) > 0 {
+		e.emitCounterfactuals(obs)
 	}
 
 	var ev *RoundEvent
@@ -716,6 +749,9 @@ func (e *Engine) update(obs []Observations, ev *RoundEvent) (RoundReport, error)
 	})
 	if err != nil {
 		return report, err
+	}
+	if e.tracing() {
+		e.emitDecisions(obs, decisions)
 	}
 	for v := 0; v < n; v++ {
 		for _, i := range decisions[v].Drop {

@@ -104,6 +104,9 @@ func (t *TimedRound) BroadcastAll(sources []int, arrivals [][]time.Duration) err
 		}
 		if row := b - skip; row >= 0 {
 			harvestObservations(res, row, obs, outs, slot)
+			if len(rs.cfPending) > 0 {
+				e.harvestCounterfactuals(res, row)
+			}
 		}
 	}
 

@@ -21,6 +21,7 @@ import (
 	"github.com/perigee-net/perigee/internal/rng"
 	"github.com/perigee-net/perigee/internal/stats"
 	"github.com/perigee-net/perigee/internal/topology"
+	"github.com/perigee-net/perigee/internal/trace"
 	"github.com/perigee-net/perigee/internal/workload"
 )
 
@@ -101,6 +102,31 @@ type Options struct {
 	// the given path, ready for TraceFile replay. Ignored by the
 	// non-workload scenarios.
 	RecordTrace string
+	// TraceLevel enables decision tracing on every Perigee engine arm
+	// (0 = off, 1 = decisions, 2 = full inputs; see core.TraceLevel). The
+	// traced records are reduced to per-round regret summaries on
+	// Result.Regret, and streamed to TraceObserver when set. Tracing
+	// covers the arms driven through the shared figure harness
+	// (runPerigee); arms that never run a Perigee engine (random,
+	// geographic, ideal) have nothing to trace.
+	TraceLevel int
+	// CounterfactualK, when positive, evaluates up to K rejected
+	// alternatives per traced decision against the following round's
+	// broadcasts (see core.TraceConfig.CounterfactualK). Requires
+	// TraceLevel ≥ 1.
+	CounterfactualK int
+	// RoundObserver, when non-nil, receives every engine arm's RoundEvent
+	// as it completes, labeled with the arm and trial. Runtime-only: it is
+	// excluded from Hash and JSON, and may be called concurrently from
+	// different (trial, arm) jobs — events within one (arm, trial) pair
+	// arrive in round order, but the interleaving across pairs is
+	// schedule-dependent, so consumers must lock and group by (arm, trial).
+	RoundObserver func(arm string, trial int, ev core.RoundEvent) `json:"-"`
+	// TraceObserver, when non-nil, receives every trace record as it is
+	// emitted (the streaming path the experiment service uses). Runtime-
+	// only, excluded from Hash and JSON; same concurrency contract as
+	// RoundObserver.
+	TraceObserver func(rec trace.Record) `json:"-"`
 }
 
 // ValidationModel selects the per-node validation delay distribution.
@@ -189,8 +215,21 @@ func (o Options) validate() error {
 	if o.BlockInterval < 0 {
 		return fmt.Errorf("experiments: block interval %v must be non-negative", o.BlockInterval)
 	}
+	if !core.TraceLevel(o.TraceLevel).Valid() {
+		return fmt.Errorf("experiments: invalid trace level %d (want 0=off, 1=decisions, 2=inputs)", o.TraceLevel)
+	}
+	if o.CounterfactualK < 0 {
+		return fmt.Errorf("experiments: counterfactual k %d must be non-negative", o.CounterfactualK)
+	}
+	if o.CounterfactualK > 0 && o.TraceLevel == 0 {
+		return fmt.Errorf("experiments: counterfactual k %d requires trace level ≥ 1", o.CounterfactualK)
+	}
 	return nil
 }
+
+// Validate checks the options without running anything — the up-front
+// check CLIs and the experiment service run before accepting a job.
+func Validate(o Options) error { return o.validate() }
 
 // blockInterval resolves the workload block interval, mapping the zero
 // value to the 2s default.
@@ -253,6 +292,10 @@ type Result struct {
 	// Workloads (continuous-time scenarios only) holds one fork-economics
 	// summary per algorithm arm, in arm order.
 	Workloads []WorkloadSeries `json:",omitempty"`
+	// Regret (traced runs only: Options.TraceLevel > 0) holds one
+	// per-round counterfactual-regret summary per traced engine arm,
+	// merged across trials, in arm order.
+	Regret []*trace.Summary `json:",omitempty"`
 	// Options echoes the configuration that produced the result.
 	Options Options
 }
@@ -308,6 +351,7 @@ func splitWorkers(opt Options, jobs int) (outer int, inner Options) {
 // env bundles one trial's sampled network.
 type env struct {
 	opt      Options
+	trial    int
 	universe *geo.Universe
 	lat      latency.Model
 	forward  []time.Duration
@@ -315,6 +359,10 @@ type env struct {
 	root     *rng.RNG
 	pinned   [][2]int
 	frozen   []bool
+
+	// traces accumulates one regret summary per traced engine run in this
+	// env (populated by runPerigee when Options.TraceLevel is on).
+	traces []*trace.Summary
 
 	// evalSim is the trial's reusable evaluation simulator: built once via
 	// netsim's prevalidated path and reconfigured in place when a different
@@ -350,6 +398,7 @@ func newEnv(opt Options, trial int) (*env, error) {
 	}
 	e := &env{
 		opt:      opt,
+		trial:    trial,
 		universe: universe,
 		lat:      lat,
 		power:    power,
@@ -534,27 +583,47 @@ func (e *env) runPerigee(method core.Method) ([]float64, *core.Engine, error) {
 	} else {
 		params.RoundBlocks = e.opt.RoundBlocks
 	}
+	var observer core.Observer
+	if e.opt.RoundObserver != nil {
+		arm, trial, emit := method.String(), e.trial, e.opt.RoundObserver
+		observer = core.ObserverFunc(func(ev core.RoundEvent) { emit(arm, trial, ev) })
+	}
+	var collector *trace.Collector
+	var traceCfg core.TraceConfig
+	if e.opt.TraceLevel > 0 {
+		collector = &trace.Collector{Selector: method.String(), Trial: e.trial, OnRecord: e.opt.TraceObserver}
+		traceCfg = core.TraceConfig{
+			Level:           core.TraceLevel(e.opt.TraceLevel),
+			CounterfactualK: e.opt.CounterfactualK,
+			Sink:            collector,
+		}
+	}
 	engine, err := core.NewEngine(core.Config{
-		Method:  method,
-		Params:  params,
-		Table:   tbl,
-		Latency: e.lat,
-		Forward: e.forward,
-		Power:   e.power,
-		Pinned:  e.pinned,
-		Frozen:  e.frozen,
-		Rand:    e.root.Derive("engine-" + method.String()),
-		Workers: e.opt.Workers,
+		Method:   method,
+		Params:   params,
+		Table:    tbl,
+		Latency:  e.lat,
+		Forward:  e.forward,
+		Power:    e.power,
+		Pinned:   e.pinned,
+		Frozen:   e.frozen,
+		Rand:     e.root.Derive("engine-" + method.String()),
+		Workers:  e.opt.Workers,
+		Observer: observer,
 
 		LatencyMode:       e.opt.LatencyMode,
 		ObservationWindow: e.opt.ObservationWindow,
 		Shards:            e.opt.Shards,
+		Trace:             traceCfg,
 	})
 	if err != nil {
 		return nil, nil, err
 	}
 	if _, err := engine.Run(rounds); err != nil {
 		return nil, nil, err
+	}
+	if collector != nil {
+		e.traces = append(e.traces, trace.Summarize(collector.Selector, collector.Records()))
 	}
 	delays, err := engine.Delays(e.opt.Fraction, e.landmarks())
 	if err != nil {
@@ -596,8 +665,10 @@ func runFigure(opt Options, id, title string, setup func(*env) error, algos []al
 		return nil, err
 	}
 	perAlgo := make([][][]float64, len(algos))
+	perTrace := make([][][]*trace.Summary, len(algos))
 	for i := range perAlgo {
 		perAlgo[i] = make([][]float64, opt.Trials)
+		perTrace[i] = make([][]*trace.Summary, opt.Trials)
 	}
 	jobs := opt.Trials * len(algos)
 	outer, innerOpt := splitWorkers(opt, jobs)
@@ -617,6 +688,7 @@ func runFigure(opt Options, id, title string, setup func(*env) error, algos []al
 			return fmt.Errorf("experiments: %s trial %d algo %s: %w", id, t, algos[i].label, err)
 		}
 		perAlgo[i][t] = series
+		perTrace[i][t] = e.traces
 		return nil
 	})
 	if err != nil {
@@ -629,6 +701,15 @@ func runFigure(opt Options, id, title string, setup func(*env) error, algos []al
 			return nil, err
 		}
 		res.Series = append(res.Series, s)
+		if opt.TraceLevel > 0 {
+			var sums []*trace.Summary
+			for _, ts := range perTrace[i] {
+				sums = append(sums, ts...)
+			}
+			if merged := trace.Merge(sums...); merged != nil {
+				res.Regret = append(res.Regret, merged)
+			}
+		}
 	}
 	return res, nil
 }

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// optionsHashFields is the number of Options struct fields the canonical
+// hash accounts for (hashed or deliberately excluded). A reflection test
+// compares it against the live struct, so adding an Options field without
+// deciding its hash treatment is a compile-visible, test-failing act.
+const optionsHashFields = 22
+
+// Hash returns the canonical content hash of the options: a hex SHA-256
+// over an explicit versioned encoding of every result-determining field.
+// The experiment service keys its result cache on Scenario ID + Hash, so
+// the encoding deliberately excludes the fields that cannot change a
+// result:
+//
+//   - Workers only schedules goroutines; results are bit-for-bit identical
+//     at any worker count, so runs differing only in Workers share a hash
+//     (and therefore a cache entry).
+//   - RoundObserver and TraceObserver are runtime streaming hooks.
+//
+// TraceFile and RecordTrace are side-effecting (they read/write files) and
+// TraceLevel/CounterfactualK change the Regret section of the result, so
+// all four are hashed.
+func (o Options) Hash() string {
+	h := sha256.New()
+	fmt.Fprintf(h,
+		"perigee-options-v1|nodes=%d|trials=%d|rounds=%d|roundblocks=%d|fraction=%g|seed=%d|meanvalidation=%d|validation=%d|adversaryfraction=%g|capturethreshold=%g|lambdasources=%d|observationwindow=%d|shards=%d|latencymode=%d|blockinterval=%d|tracefile=%q|recordtrace=%q|tracelevel=%d|counterfactualk=%d",
+		o.Nodes, o.Trials, o.Rounds, o.RoundBlocks, o.Fraction, o.Seed,
+		int64(o.MeanValidation), int(o.Validation), o.AdversaryFraction,
+		o.CaptureThreshold, o.LambdaSources, o.ObservationWindow, o.Shards,
+		int(o.LatencyMode), int64(o.BlockInterval), o.TraceFile,
+		o.RecordTrace, o.TraceLevel, o.CounterfactualK)
+	return hex.EncodeToString(h.Sum(nil))
+}

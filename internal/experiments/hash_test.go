@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/perigee-net/perigee/internal/core"
+	"github.com/perigee-net/perigee/internal/latency"
+	"github.com/perigee-net/perigee/internal/trace"
+)
+
+// TestHashFieldGuard fails when Options grows a field the hash encoding
+// has not accounted for, forcing a deliberate decision (hash it, or
+// document the exclusion in Options.Hash) instead of silent cache aliasing.
+func TestHashFieldGuard(t *testing.T) {
+	n := reflect.TypeOf(Options{}).NumField()
+	if n != optionsHashFields {
+		t.Fatalf("Options has %d fields but the canonical hash accounts for %d — update Options.Hash and optionsHashFields", n, optionsHashFields)
+	}
+}
+
+// TestHashStable: equal options hash equal, and the hash is a hex sha256.
+func TestHashStable(t *testing.T) {
+	a, b := DefaultOptions(), DefaultOptions()
+	if a.Hash() != b.Hash() {
+		t.Fatal("equal options produced different hashes")
+	}
+	if len(a.Hash()) != 64 {
+		t.Fatalf("hash length %d, want 64 hex chars", len(a.Hash()))
+	}
+}
+
+// TestHashSensitivity flips every result-determining field and checks the
+// hash moves; flips the excluded fields and checks it does not.
+func TestHashSensitivity(t *testing.T) {
+	base := DefaultOptions()
+	flips := map[string]func(*Options){
+		"Nodes":             func(o *Options) { o.Nodes++ },
+		"Trials":            func(o *Options) { o.Trials++ },
+		"Rounds":            func(o *Options) { o.Rounds++ },
+		"RoundBlocks":       func(o *Options) { o.RoundBlocks++ },
+		"Fraction":          func(o *Options) { o.Fraction = 0.8 },
+		"Seed":              func(o *Options) { o.Seed++ },
+		"MeanValidation":    func(o *Options) { o.MeanValidation += time.Millisecond },
+		"Validation":        func(o *Options) { o.Validation = ValidationExponential },
+		"AdversaryFraction": func(o *Options) { o.AdversaryFraction = 0.2 },
+		"CaptureThreshold":  func(o *Options) { o.CaptureThreshold = 0.5 },
+		"LambdaSources":     func(o *Options) { o.LambdaSources = 64 },
+		"ObservationWindow": func(o *Options) { o.ObservationWindow = 10 },
+		"Shards":            func(o *Options) { o.Shards = 4 },
+		"LatencyMode":       func(o *Options) { o.LatencyMode = latency.Streaming },
+		"BlockInterval":     func(o *Options) { o.BlockInterval = time.Second },
+		"TraceFile":         func(o *Options) { o.TraceFile = "trace.json" },
+		"RecordTrace":       func(o *Options) { o.RecordTrace = "rec.json" },
+		"TraceLevel":        func(o *Options) { o.TraceLevel = 1 },
+		"CounterfactualK":   func(o *Options) { o.CounterfactualK = 3 },
+	}
+	ref := base.Hash()
+	for field, flip := range flips {
+		o := base
+		flip(&o)
+		if o.Hash() == ref {
+			t.Errorf("flipping %s did not change the hash", field)
+		}
+	}
+	// Excluded fields: scheduling and runtime hooks must not fragment the
+	// cache.
+	o := base
+	o.Workers = 7
+	o.RoundObserver = func(string, int, core.RoundEvent) {}
+	o.TraceObserver = func(trace.Record) {}
+	if o.Hash() != ref {
+		t.Error("Workers/RoundObserver/TraceObserver changed the hash; they are result-neutral and must be excluded")
+	}
+	// The guard constant covers hashed + excluded; make the arithmetic
+	// visible: 19 hashed flips + 3 exclusions = every field.
+	if len(flips)+3 != optionsHashFields {
+		t.Errorf("test covers %d+3 fields, struct hash accounts for %d — update the flip table", len(flips), optionsHashFields)
+	}
+}
+
+// TestValidateTraceOptions covers the new option validation paths.
+func TestValidateTraceOptions(t *testing.T) {
+	o := ShortOptions()
+	o.TraceLevel = 3
+	if err := Validate(o); err == nil {
+		t.Error("trace level 3 accepted")
+	}
+	o = ShortOptions()
+	o.CounterfactualK = -1
+	if err := Validate(o); err == nil {
+		t.Error("negative counterfactual k accepted")
+	}
+	o = ShortOptions()
+	o.CounterfactualK = 2
+	if err := Validate(o); err == nil {
+		t.Error("counterfactual k without tracing accepted")
+	}
+	o.TraceLevel = 1
+	if err := Validate(o); err != nil {
+		t.Errorf("valid traced options rejected: %v", err)
+	}
+}

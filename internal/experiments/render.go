@@ -188,6 +188,10 @@ func (r *Result) Render() string {
 				w.Label, w.MeanStaleRate, w.MeanForkRate, w.MeanRevenueSkew)
 		}
 	}
+	for _, s := range r.Regret {
+		b.WriteString("\n")
+		b.WriteString(s.Render())
+	}
 	for _, note := range r.Notes {
 		fmt.Fprintf(&b, "note: %s\n", note)
 	}

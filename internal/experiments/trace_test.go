@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/perigee-net/perigee/internal/core"
+	"github.com/perigee-net/perigee/internal/trace"
+)
+
+// tracedOptions is a minimal traced figure configuration (golden-test
+// scale) with counterfactual evaluation on.
+func tracedOptions() Options {
+	return Options{
+		Nodes:           60,
+		Trials:          2,
+		Rounds:          3,
+		RoundBlocks:     15,
+		Fraction:        0.9,
+		Seed:            7,
+		MeanValidation:  50 * time.Millisecond,
+		TraceLevel:      int(core.TraceDecisions),
+		CounterfactualK: 2,
+	}
+}
+
+// TestTracedFigureReportsRegret runs a traced figure end to end and checks
+// the per-arm regret summaries: every Perigee arm is summarized, the
+// Subset arm evaluated counterfactual alternatives, and the rendered
+// report includes the regret tables.
+func TestTracedFigureReportsRegret(t *testing.T) {
+	var mu sync.Mutex
+	streamed := map[string]int{}
+	rounds := map[string]int{}
+	opt := tracedOptions()
+	opt.TraceObserver = func(rec trace.Record) {
+		mu.Lock()
+		streamed[rec.Selector]++
+		mu.Unlock()
+	}
+	opt.RoundObserver = func(arm string, trial int, ev core.RoundEvent) {
+		mu.Lock()
+		rounds[arm]++
+		mu.Unlock()
+	}
+	res, err := Run("figure3a", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"Perigee-Subset": false, "Perigee-Vanilla": false, "Perigee-UCB": false}
+	for _, s := range res.Regret {
+		if _, ok := want[s.Selector]; ok {
+			want[s.Selector] = true
+		}
+		if s.Trials != opt.Trials {
+			t.Errorf("%s summary merged %d trials, want %d", s.Selector, s.Trials, opt.Trials)
+		}
+	}
+	for arm, seen := range want {
+		if !seen {
+			t.Errorf("no regret summary for traced arm %s", arm)
+		}
+		if streamed[arm] == 0 {
+			t.Errorf("no streamed trace records for arm %s", arm)
+		}
+		if got := rounds[arm]; got == 0 {
+			t.Errorf("no streamed round events for arm %s", arm)
+		}
+	}
+	for _, s := range res.Regret {
+		if s.Selector != "Perigee-Subset" {
+			continue
+		}
+		total := s.Total()
+		if total.Decisions == 0 {
+			t.Error("Subset summary has no decisions")
+		}
+		if total.Alternatives == 0 {
+			t.Error("Subset summary evaluated no counterfactual alternatives")
+		}
+	}
+	if rendered := res.Render(); !strings.Contains(rendered, "decision trace: Perigee-Subset") {
+		t.Error("rendered result is missing the regret table")
+	}
+}
+
+// TestTracedRunDeterministicAcrossWorkers asserts the harness-level trace
+// output (the merged regret summaries) is identical at different worker
+// counts — the end-to-end version of the engine-level byte-identity test.
+func TestTracedRunDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) []*trace.Summary {
+		opt := tracedOptions()
+		opt.Workers = workers
+		res, err := Run("figure3a", opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Regret
+	}
+	a, b := run(1), run(8)
+	if len(a) != len(b) {
+		t.Fatalf("summary count differs: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Selector != b[i].Selector {
+			t.Fatalf("summary order differs: %s vs %s", a[i].Selector, b[i].Selector)
+		}
+		if len(a[i].Rounds) != len(b[i].Rounds) {
+			t.Fatalf("%s round count differs", a[i].Selector)
+		}
+		for r := range a[i].Rounds {
+			if a[i].Rounds[r] != b[i].Rounds[r] {
+				t.Errorf("%s round %d differs:\n  w1: %+v\n  w8: %+v", a[i].Selector, r, a[i].Rounds[r], b[i].Rounds[r])
+			}
+		}
+	}
+}

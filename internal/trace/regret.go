@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RoundRegret aggregates one round's decisions and counterfactual
+// evaluations. Regret statistics cover the finite (non-censored)
+// alternatives only; MeanRegretMs is signed — negative means the engine's
+// drops were justified on average, positive means kept-worse-than-dropped.
+type RoundRegret struct {
+	Round        int     `json:"round"`
+	Decisions    int     `json:"decisions"`
+	Drops        int     `json:"drops"`
+	Alternatives int     `json:"alternatives"`
+	Censored     int     `json:"censored"`
+	Regretful    int     `json:"regretful"`
+	MeanRegretMs float64 `json:"mean_regret_ms"`
+	MaxRegretMs  float64 `json:"max_regret_ms"`
+}
+
+// finite is the number of alternatives the regret moments cover.
+func (r RoundRegret) finite() int { return r.Alternatives - r.Censored }
+
+// merge folds o into r (weighted mean over finite alternatives; exact at
+// any merge order up to float rounding).
+func (r *RoundRegret) merge(o RoundRegret) {
+	rf, of := r.finite(), o.finite()
+	switch {
+	case rf+of == 0:
+		// nothing to average
+	case rf == 0:
+		r.MeanRegretMs, r.MaxRegretMs = o.MeanRegretMs, o.MaxRegretMs
+	case of > 0:
+		r.MeanRegretMs = (r.MeanRegretMs*float64(rf) + o.MeanRegretMs*float64(of)) / float64(rf+of)
+		if o.MaxRegretMs > r.MaxRegretMs {
+			r.MaxRegretMs = o.MaxRegretMs
+		}
+	}
+	r.Decisions += o.Decisions
+	r.Drops += o.Drops
+	r.Alternatives += o.Alternatives
+	r.Censored += o.Censored
+	r.Regretful += o.Regretful
+}
+
+// Summary is the per-selector regret report: counterfactual regret sliced
+// by round, plus the decision volume it was computed over.
+type Summary struct {
+	Selector string        `json:"selector"`
+	Trials   int           `json:"trials"`
+	Rounds   []RoundRegret `json:"rounds"`
+}
+
+// Total aggregates every round of the summary.
+func (s *Summary) Total() RoundRegret {
+	var t RoundRegret
+	for _, r := range s.Rounds {
+		t.merge(r)
+	}
+	return t
+}
+
+// Summarize reduces one run's records to a per-round regret summary.
+func Summarize(selector string, recs []Record) *Summary {
+	byRound := map[int]*RoundRegret{}
+	get := func(round int) *RoundRegret {
+		r := byRound[round]
+		if r == nil {
+			r = &RoundRegret{Round: round}
+			byRound[round] = r
+		}
+		return r
+	}
+	for i := range recs {
+		rec := &recs[i]
+		switch rec.Kind {
+		case KindDecision:
+			r := get(rec.Round)
+			r.Decisions++
+			r.Drops += len(rec.Dropped)
+		case KindCounterfactual:
+			r := get(rec.Round)
+			r.Alternatives++
+			if rec.Censored || rec.RegretMs.Censored() {
+				r.Censored++
+				continue
+			}
+			reg := float64(rec.RegretMs)
+			if reg > 0 {
+				r.Regretful++
+			}
+			f := r.finite()
+			r.MeanRegretMs += (reg - r.MeanRegretMs) / float64(f)
+			if f == 1 || reg > r.MaxRegretMs {
+				r.MaxRegretMs = reg
+			}
+		}
+	}
+	s := &Summary{Selector: selector, Trials: 1}
+	rounds := make([]int, 0, len(byRound))
+	for round := range byRound {
+		rounds = append(rounds, round)
+	}
+	sort.Ints(rounds)
+	for _, round := range rounds {
+		s.Rounds = append(s.Rounds, *byRound[round])
+	}
+	return s
+}
+
+// Merge combines summaries of the same selector (typically one per trial)
+// into one, aligning rounds by index. Nil inputs are skipped; the result
+// is nil when nothing remains.
+func Merge(sums ...*Summary) *Summary {
+	var out *Summary
+	byRound := map[int]*RoundRegret{}
+	for _, s := range sums {
+		if s == nil {
+			continue
+		}
+		if out == nil {
+			out = &Summary{Selector: s.Selector}
+		}
+		out.Trials += s.Trials
+		for _, r := range s.Rounds {
+			dst := byRound[r.Round]
+			if dst == nil {
+				dst = &RoundRegret{Round: r.Round}
+				byRound[r.Round] = dst
+			}
+			dst.merge(r)
+		}
+	}
+	if out == nil {
+		return nil
+	}
+	rounds := make([]int, 0, len(byRound))
+	for round := range byRound {
+		rounds = append(rounds, round)
+	}
+	sort.Ints(rounds)
+	for _, round := range rounds {
+		out.Rounds = append(out.Rounds, *byRound[round])
+	}
+	return out
+}
+
+// Render formats the summary as the fixed-width table the CLI and the
+// scenario renderer print (golden-file tested).
+func (s *Summary) Render() string {
+	var b strings.Builder
+	trials := "trial"
+	if s.Trials != 1 {
+		trials = "trials"
+	}
+	fmt.Fprintf(&b, "-- decision trace: %s (%d %s) --\n", s.Selector, s.Trials, trials)
+	fmt.Fprintf(&b, "%-6s %10s %8s %6s %9s %10s %13s %13s\n",
+		"round", "decisions", "drops", "alts", "censored", "regretful", "mean regret", "max regret")
+	for _, r := range s.Rounds {
+		writeRegretRow(&b, fmt.Sprintf("%d", r.Round), r)
+	}
+	writeRegretRow(&b, "total", s.Total())
+	return b.String()
+}
+
+func writeRegretRow(b *strings.Builder, label string, r RoundRegret) {
+	mean, max := "-", "-"
+	if r.finite() > 0 {
+		mean = fmt.Sprintf("%.2fms", r.MeanRegretMs)
+		max = fmt.Sprintf("%.2fms", r.MaxRegretMs)
+	}
+	fmt.Fprintf(b, "%-6s %10d %8d %6d %9d %10d %13s %13s\n",
+		label, r.Decisions, r.Drops, r.Alternatives, r.Censored, r.Regretful, mean, max)
+}

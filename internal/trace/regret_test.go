@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the regret renderer golden file")
+
+// summaryFixture builds a deterministic two-trial summary covering the
+// renderer's branches: regretful and justified drops, censored
+// alternatives, and a fully censored round.
+func summaryFixture() *Summary {
+	trial := func(trial int) []Record {
+		shift := float64(trial) * 0.5
+		return []Record{
+			{Kind: KindDecision, Trial: trial, Round: 1, Node: 0, Dropped: []int{5, 6}},
+			{Kind: KindDecision, Trial: trial, Round: 1, Node: 1, Dropped: []int{7}},
+			{Kind: KindDecision, Trial: trial, Round: 1, Node: 2},
+			{Kind: KindCounterfactual, Trial: trial, Round: 1, Node: 0, Peer: 5, Rank: 0, RegretMs: Ms(-12.5 + shift), CounterfactualMs: Ms(20), WorstKeptMs: Ms(7.5 + shift)},
+			{Kind: KindCounterfactual, Trial: trial, Round: 1, Node: 0, Peer: 6, Rank: 1, RegretMs: Ms(3.25 + shift), CounterfactualMs: Ms(4), WorstKeptMs: Ms(7.25 + shift)},
+			{Kind: KindCounterfactual, Trial: trial, Round: 1, Node: 1, Peer: 7, Rank: 0, RegretMs: Ms(math.Inf(1)), Censored: true},
+			{Kind: KindDecision, Trial: trial, Round: 2, Node: 0, Dropped: []int{8}},
+			{Kind: KindCounterfactual, Trial: trial, Round: 2, Node: 0, Peer: 8, Rank: 0, RegretMs: Ms(math.Inf(1)), Censored: true},
+		}
+	}
+	return Merge(Summarize("Perigee-Subset", trial(0)), Summarize("Perigee-Subset", trial(1)))
+}
+
+// TestSummarize checks the aggregation arithmetic on the fixture.
+func TestSummarize(t *testing.T) {
+	s := summaryFixture()
+	if s.Trials != 2 || len(s.Rounds) != 2 {
+		t.Fatalf("got %d trials, %d rounds; want 2, 2", s.Trials, len(s.Rounds))
+	}
+	r1 := s.Rounds[0]
+	if r1.Round != 1 || r1.Decisions != 6 || r1.Drops != 6 || r1.Alternatives != 6 || r1.Censored != 2 {
+		t.Fatalf("round 1 counts wrong: %+v", r1)
+	}
+	if r1.Regretful != 2 {
+		t.Fatalf("round 1 regretful = %d, want 2", r1.Regretful)
+	}
+	// Finite regrets: trial 0 {-12.5, 3.25}, trial 1 {-12, 3.75} → mean -4.375.
+	if math.Abs(r1.MeanRegretMs - -4.375) > 1e-9 {
+		t.Fatalf("round 1 mean regret = %v, want -4.375", r1.MeanRegretMs)
+	}
+	if math.Abs(r1.MaxRegretMs-3.75) > 1e-9 {
+		t.Fatalf("round 1 max regret = %v, want 3.75", r1.MaxRegretMs)
+	}
+	r2 := s.Rounds[1]
+	if r2.finite() != 0 || r2.Censored != 2 || r2.Decisions != 2 {
+		t.Fatalf("round 2 should be fully censored: %+v", r2)
+	}
+	total := s.Total()
+	if total.Alternatives != 8 || total.Censored != 4 || total.Regretful != 2 {
+		t.Fatalf("total wrong: %+v", total)
+	}
+}
+
+// TestRegretRenderGolden locks the counterfactual regret renderer's output
+// byte for byte; regenerate with `go test ./internal/trace -run Golden -update`.
+func TestRegretRenderGolden(t *testing.T) {
+	got := summaryFixture().Render()
+	path := filepath.Join("testdata", "regret.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("regret renderer drifted from golden file.\n-- got --\n%s\n-- want --\n%s", got, want)
+	}
+}
+
+// TestMergeNil covers the degenerate merge inputs.
+func TestMergeNil(t *testing.T) {
+	if Merge(nil, nil) != nil {
+		t.Fatal("Merge of nils should be nil")
+	}
+	s := Summarize("x", []Record{{Kind: KindDecision, Round: 1}})
+	m := Merge(nil, s)
+	if m == nil || m.Trials != 1 || m.Rounds[0].Decisions != 1 {
+		t.Fatalf("Merge(nil, s) = %+v", m)
+	}
+}

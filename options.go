@@ -8,6 +8,7 @@ import (
 	"github.com/perigee-net/perigee/internal/core"
 	"github.com/perigee-net/perigee/internal/latency"
 	"github.com/perigee-net/perigee/internal/rng"
+	"github.com/perigee-net/perigee/internal/trace"
 )
 
 // Option configures a Network under construction; see New. Options
@@ -38,6 +39,9 @@ type settings struct {
 	workloadProc  ArrivalProcess
 	blockInterval time.Duration
 	traceFile     string
+
+	traceLevel      core.TraceLevel
+	counterfactualK int
 
 	selector      Selector
 	latency       LatencyModel
@@ -472,6 +476,10 @@ func New(nodes int, opts ...Option) (*Network, error) {
 		return nil, err
 	}
 
+	if s.counterfactualK > 0 && s.traceLevel == core.TraceOff {
+		return nil, fmt.Errorf("perigee: WithCounterfactualK(%d) requires WithTraceLevel", s.counterfactualK)
+	}
+
 	net := &Network{
 		scoring:       s.scoring,
 		observers:     s.observers,
@@ -480,6 +488,9 @@ func New(nodes int, opts ...Option) (*Network, error) {
 		blockInterval: s.blockInterval,
 		traceFile:     s.traceFile,
 		workloadRand:  root.Derive("workload"),
+	}
+	if s.traceLevel > core.TraceOff {
+		net.traceCollector = &trace.Collector{Selector: s.scoring.method().String()}
 	}
 	cfg := core.Config{
 		Method:   s.scoring.method(),
@@ -495,6 +506,13 @@ func New(nodes int, opts ...Option) (*Network, error) {
 		LatencyMode:       latency.Mode(s.latencyMode),
 		ObservationWindow: s.obsWindow,
 		Shards:            s.shards,
+	}
+	if net.traceCollector != nil {
+		cfg.Trace = core.TraceConfig{
+			Level:           s.traceLevel,
+			CounterfactualK: s.counterfactualK,
+			Sink:            net.traceCollector,
+		}
 	}
 	if len(s.observers) > 0 {
 		cfg.Observer = &observerBridge{net: net}

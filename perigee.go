@@ -80,6 +80,7 @@ import (
 	"time"
 
 	"github.com/perigee-net/perigee/internal/core"
+	"github.com/perigee-net/perigee/internal/trace"
 )
 
 // Scoring selects the neighbor-scoring rule (§4 of the paper).
@@ -271,6 +272,8 @@ type Network struct {
 	traceFile     string
 	workloadRand  *Rand
 	workloadRuns  int
+
+	traceCollector *trace.Collector
 }
 
 // RoundSummary reports one protocol round.

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # bench.sh — run the hot-path micro-benchmark suite, enforce the repo's
 # allocation contracts, refresh the machine-readable bench report
-# (BENCH_PR7.json), and diff it against the latest previously committed
+# (BENCH_PR8.json), and diff it against the latest previously committed
 # BENCH_*.json so performance regressions fail loudly.
 #
 # Usage:
@@ -9,7 +9,7 @@
 #   scripts/bench.sh --json     # JSON report + diff only (skip go-test pass)
 #
 # Environment:
-#   BENCH_OUT          output report path         (default BENCH_PR7.json)
+#   BENCH_OUT          output report path         (default BENCH_PR8.json)
 #   BENCH_MAX_REGRESS  ns/op regression tolerance (default 0.20 = +20%)
 #
 # The go-test pass prints the familiar -benchmem table and enforces the
@@ -22,7 +22,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${BENCH_OUT:-BENCH_PR7.json}"
+OUT="${BENCH_OUT:-BENCH_PR8.json}"
 MAX_REGRESS="${BENCH_MAX_REGRESS:-0.20}"
 
 # gate NAME WANT — fail unless benchmark NAME reports at most WANT allocs/op.
@@ -63,6 +63,11 @@ if [[ "${1:-}" != "--json" ]]; then
   gate MicroVanillaScoring 1
   gate MicroSubsetScoring 1
   gate WorkloadHour 50000
+  # Decision tracing is off in every Micro case; this ceiling pins the
+  # untraced engine round so the tracing hooks stay branch-only on the hot
+  # path (a per-decision or per-counterfactual allocation would add
+  # thousands per round).
+  gate MicroEngineRound 2000
   echo "bench.sh: all allocation gates hold"
 fi
 

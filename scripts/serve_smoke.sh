@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke test of cmd/perigee-serve over real
+# HTTP: build the binary with the race detector, start it, submit the same
+# quick scenario twice (the second submission must be answered from the
+# result cache with the same job ID), and check the NDJSON event stream
+# delivers exactly the round events the batch configuration implies
+# (trials × rounds per arm) plus a terminal status event.
+#
+# Usage: scripts/serve_smoke.sh [port]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${1:-18080}"
+ADDR="127.0.0.1:${PORT}"
+BASE="http://${ADDR}"
+
+go build -race -o /tmp/perigee-serve ./cmd/perigee-serve
+/tmp/perigee-serve -addr "$ADDR" &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 50); do
+  curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -fsS "$BASE/healthz" | jq -e '.status == "ok"' >/dev/null
+echo "serve_smoke: healthz ok"
+
+curl -fsS "$BASE/scenarios" | jq -e 'map(.id) | index("figure3a") != null' >/dev/null
+echo "serve_smoke: scenario registry served"
+
+TRIALS=2
+ROUNDS=3
+BODY="{\"scenario\":\"figure3a\",\"quick\":true,\"options\":{\"nodes\":60,\"trials\":${TRIALS},\"rounds\":${ROUNDS},\"round_blocks\":15,\"mean_validation_ms\":50,\"trace_level\":\"decisions\",\"counterfactual_k\":2}}"
+
+FIRST="$(curl -fsS -X POST "$BASE/jobs" -H 'Content-Type: application/json' -d "$BODY")"
+JOB_ID="$(jq -r '.id' <<<"$FIRST")"
+jq -e '.cache_hit == false' <<<"$FIRST" >/dev/null \
+  || { echo "serve_smoke: first submission claims a cache hit" >&2; exit 1; }
+echo "serve_smoke: submitted $JOB_ID"
+
+STATUS=""
+for _ in $(seq 1 300); do
+  STATUS="$(curl -fsS "$BASE/jobs/$JOB_ID" | jq -r '.status')"
+  [ "$STATUS" = "done" ] && break
+  if [ "$STATUS" = "failed" ]; then
+    curl -fsS "$BASE/jobs/$JOB_ID" | jq . >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+[ "$STATUS" = "done" ] || { echo "serve_smoke: job never finished" >&2; exit 1; }
+echo "serve_smoke: job done"
+
+SECOND="$(curl -fsS -X POST "$BASE/jobs" -H 'Content-Type: application/json' -d "$BODY")"
+jq -e '.cache_hit == true' <<<"$SECOND" >/dev/null \
+  || { echo "serve_smoke: resubmission was not a cache hit" >&2; exit 1; }
+[ "$(jq -r '.id' <<<"$SECOND")" = "$JOB_ID" ] \
+  || { echo "serve_smoke: cache hit returned a different job" >&2; exit 1; }
+echo "serve_smoke: identical resubmission answered from cache"
+
+# The finished job's result must carry the counterfactual regret summaries.
+curl -fsS "$BASE/jobs/$JOB_ID" | jq -e '.result.Regret | length > 0' >/dev/null \
+  || { echo "serve_smoke: traced result has no regret summaries" >&2; exit 1; }
+
+# Stream the event log and check it against what the batch configuration
+# runs: Vanilla/Subset broadcast trials × rounds rounds, UCB runs
+# trials × rounds × round_blocks single-block rounds (the harness matches
+# block budgets across variants), the traced arms emit decision records,
+# and the stream ends with a terminal status event.
+ROUND_BLOCKS=15
+curl -fsS "$BASE/jobs/$JOB_ID/events" >/tmp/serve-smoke-events.ndjson
+python3 - "$TRIALS" "$ROUNDS" "$ROUND_BLOCKS" /tmp/serve-smoke-events.ndjson <<'PY'
+import json
+import sys
+
+trials, rounds, blocks = int(sys.argv[1]), int(sys.argv[2]), int(sys.argv[3])
+per_arm, traces, last = {}, 0, None
+with open(sys.argv[4]) as f:
+    for line in f:
+        ev = json.loads(line)
+        if ev["kind"] == "round":
+            per_arm[ev["arm"]] = per_arm.get(ev["arm"], 0) + 1
+        elif ev["kind"] == "trace":
+            traces += 1
+        last = ev["kind"]
+
+if not per_arm:
+    sys.exit("no round events streamed")
+for arm, n in sorted(per_arm.items()):
+    want = trials * rounds * (blocks if arm == "Perigee-UCB" else 1)
+    if n != want:
+        sys.exit(f"arm {arm}: streamed {n} round events, batch config runs {want}")
+    print(f"serve_smoke: arm {arm}: {n}/{want} round events")
+if traces == 0:
+    sys.exit("no trace events streamed for a traced job")
+if last != "status":
+    sys.exit(f"stream ended with {last!r}, want terminal status event")
+print(f"serve_smoke: {traces} trace events, terminal status seen")
+PY
+
+echo "serve_smoke: ok"

@@ -1,0 +1,112 @@
+package perigee_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	perigee "github.com/perigee-net/perigee"
+)
+
+// TestNetworkTracing drives a traced network through a few rounds and
+// checks the public trace surface: records accumulate, the summary reports
+// counterfactual regret, and WriteTrace emits parseable NDJSON.
+func TestNetworkTracing(t *testing.T) {
+	net, err := perigee.New(60,
+		perigee.WithSeed(3),
+		perigee.WithRoundBlocks(20),
+		perigee.WithTraceLevel(perigee.TraceDecisions),
+		perigee.WithCounterfactualK(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Run(3); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := net.Trace()
+	if len(recs) == 0 {
+		t.Fatal("traced run recorded nothing")
+	}
+	decisions, counterfactuals := 0, 0
+	for _, r := range recs {
+		switch r.Kind {
+		case "decision":
+			decisions++
+		case "counterfactual":
+			counterfactuals++
+		default:
+			t.Fatalf("unknown record kind %q", r.Kind)
+		}
+	}
+	if decisions == 0 || counterfactuals == 0 {
+		t.Fatalf("got %d decisions, %d counterfactuals; want both > 0", decisions, counterfactuals)
+	}
+
+	sum := net.TraceSummary()
+	if sum == nil {
+		t.Fatal("traced network returned nil summary")
+	}
+	if sum.Selector != "Perigee-Subset" {
+		t.Errorf("summary selector %q, want Perigee-Subset", sum.Selector)
+	}
+	if total := sum.Total(); total.Decisions != decisions || total.Alternatives != counterfactuals {
+		t.Errorf("summary totals %+v disagree with records (%d decisions, %d cf)", total, decisions, counterfactuals)
+	}
+	if !strings.Contains(sum.Render(), "decision trace: Perigee-Subset") {
+		t.Error("summary render is missing its header")
+	}
+
+	var buf bytes.Buffer
+	if err := net.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var rec perigee.TraceRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad NDJSON line: %v", err)
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines != len(recs) {
+		t.Fatalf("WriteTrace emitted %d lines for %d records", lines, len(recs))
+	}
+}
+
+// TestTracingOptionValidation: the facade refuses nonsense trace options
+// and an untraced network's trace surface is inert.
+func TestTracingOptionValidation(t *testing.T) {
+	if _, err := perigee.New(60, perigee.WithTraceLevel(perigee.TraceLevel(9))); err == nil {
+		t.Error("bad trace level accepted")
+	}
+	if _, err := perigee.New(60, perigee.WithCounterfactualK(-1)); err == nil {
+		t.Error("negative counterfactual k accepted")
+	}
+	if _, err := perigee.New(60, perigee.WithCounterfactualK(2)); err == nil {
+		t.Error("WithCounterfactualK without WithTraceLevel accepted")
+	}
+
+	net, err := perigee.New(60, perigee.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if net.Trace() != nil || net.TraceSummary() != nil {
+		t.Error("untraced network returned trace data")
+	}
+	var buf bytes.Buffer
+	if err := net.WriteTrace(&buf); err != nil || buf.Len() != 0 {
+		t.Errorf("untraced WriteTrace wrote %d bytes, err %v", buf.Len(), err)
+	}
+}
