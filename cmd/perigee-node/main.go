@@ -35,6 +35,9 @@ func main() {
 		percentile  = flag.Float64("percentile", 0.9, "scoring quantile in (0, 1]")
 		maxInbound  = flag.Int("max-inbound", 20, "inbound connection cap")
 		seed        = flag.Uint64("seed", uint64(time.Now().UnixNano()), "randomness seed")
+		addrBook    = flag.String("addr-book", "", "path for the persistent address book (empty = in-memory only)")
+		redialEvery = flag.Duration("redial", 30*time.Second, "how often to redial toward the out-degree target (0 disables)")
+		idleTimeout = flag.Duration("idle-timeout", 90*time.Second, "silence tolerated on a connection before probing and dropping it")
 	)
 	flag.Parse()
 
@@ -60,6 +63,15 @@ func main() {
 	}
 	if *mine > 0 {
 		opts = append(opts, node.WithMiner(*mine))
+	}
+	if *addrBook != "" {
+		opts = append(opts, node.WithAddrBookPath(*addrBook))
+	}
+	if *redialEvery > 0 {
+		opts = append(opts, node.WithRedialInterval(*redialEvery))
+	}
+	if *idleTimeout > 0 {
+		opts = append(opts, node.WithIdleTimeout(*idleTimeout))
 	}
 	scoringOpt, err := cliopts.ScoringOption(*scoring, *explore)
 	if err != nil {

@@ -1,0 +1,226 @@
+package faults
+
+import (
+	"errors"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestPlanDeterminism: the same seed yields bit-for-bit identical verdict
+// streams, independent of consultation order; different seeds diverge.
+func TestPlanDeterminism(t *testing.T) {
+	a, b := Mixed(7, 0.3), Mixed(7, 0.3)
+	other := Mixed(8, 0.3)
+	diverged := false
+	// Consult b in reverse order to prove statelessness.
+	type key struct {
+		node, remote uint64
+		attempt      int
+	}
+	var keys []key
+	for node := uint64(1); node <= 6; node++ {
+		for remote := uint64(1); remote <= 6; remote++ {
+			for attempt := 0; attempt < 4; attempt++ {
+				keys = append(keys, key{node, remote, attempt})
+			}
+		}
+	}
+	got := make(map[key]Verdict, len(keys))
+	for i := len(keys) - 1; i >= 0; i-- {
+		k := keys[i]
+		got[k] = b.Conn(k.node, k.remote, k.attempt)
+	}
+	for _, k := range keys {
+		va := a.Conn(k.node, k.remote, k.attempt)
+		if va != got[k] {
+			t.Fatalf("verdict mismatch at %+v: %v vs %v", k, va, got[k])
+		}
+		if va != other.Conn(k.node, k.remote, k.attempt) {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds issued identical verdict streams")
+	}
+}
+
+// TestPlanFractions: the fault rate tracks the configured fraction and
+// every kind appears in a large enough sample.
+func TestPlanFractions(t *testing.T) {
+	plan := Mixed(3, 0.25)
+	faulted := 0
+	kinds := map[Kind]int{}
+	const n = 2000
+	for i := 0; i < n; i++ {
+		v := plan.Conn(uint64(i+1), uint64(2*i+3), 0)
+		if v.Faulty() {
+			faulted++
+			kinds[v.Kind]++
+		}
+	}
+	frac := float64(faulted) / n
+	if frac < 0.18 || frac > 0.32 {
+		t.Fatalf("fault rate %.3f, want ~0.25", frac)
+	}
+	for _, k := range []Kind{Reset, Stall, SlowReader, Drop} {
+		if kinds[k] == 0 {
+			t.Fatalf("kind %v never drawn in %d faulted connections", k, faulted)
+		}
+	}
+	dials := 0
+	for i := 0; i < n; i++ {
+		if plan.Dial(uint64(i+1), "127.0.0.1:9999", 0).Kind == DialFail {
+			dials++
+		}
+	}
+	if dfrac := float64(dials) / n; dfrac < 0.18 || dfrac > 0.32 {
+		t.Fatalf("dial failure rate %.3f, want ~0.25", dfrac)
+	}
+}
+
+// TestDialFailuresPlanLeavesConnsAlone: the dial-only plan never faults
+// established connections.
+func TestDialFailuresPlanLeavesConnsAlone(t *testing.T) {
+	plan := DialFailures(5, 1)
+	if v := plan.Dial(1, "x:1", 0); v.Kind != DialFail {
+		t.Fatalf("dial verdict %v, want dial-fail at fraction 1", v)
+	}
+	for i := 0; i < 50; i++ {
+		if v := plan.Conn(1, uint64(i+2), 0); v.Faulty() {
+			t.Fatalf("dial-only plan faulted a connection: %v", v)
+		}
+	}
+}
+
+// pipeConns returns a connected in-memory pair.
+func pipeConns(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+// TestWrapReset: after After operations the connection errors out.
+func TestWrapReset(t *testing.T) {
+	a, b := pipeConns(t)
+	w := Wrap(a, Verdict{Kind: Reset, After: 2})
+	go func() {
+		buf := make([]byte, 1)
+		for {
+			if _, err := b.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	if _, err := w.Write([]byte("x")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if _, err := w.Write([]byte("y")); err != nil {
+		t.Fatalf("write 2: %v", err)
+	}
+	if _, err := w.Write([]byte("z")); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("write 3 err = %v, want injected reset", err)
+	}
+	// The underlying connection is closed, not leaked.
+	if _, err := w.Write([]byte("w")); err == nil {
+		t.Fatal("write after reset succeeded")
+	}
+}
+
+// TestWrapStallHonorsReadDeadline: a stalled read must return a deadline
+// error when SetReadDeadline has been applied — this is what lets the
+// node's idle-timeout machinery detect a hung peer.
+func TestWrapStallHonorsReadDeadline(t *testing.T) {
+	a, _ := pipeConns(t)
+	w := Wrap(a, Verdict{Kind: Stall, After: 0})
+	// Stalled writes succeed silently.
+	if _, err := w.Write([]byte("x")); err != nil {
+		t.Fatalf("stalled write errored: %v", err)
+	}
+	if err := w.SetReadDeadline(time.Now().Add(80 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := w.Read(make([]byte, 1))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("stalled read err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond || elapsed > 2*time.Second {
+		t.Fatalf("stalled read returned after %v, want ~80ms", elapsed)
+	}
+}
+
+// TestWrapStallUnblocksOnClose: without a deadline, a stalled read ends
+// when the connection is closed.
+func TestWrapStallUnblocksOnClose(t *testing.T) {
+	a, _ := pipeConns(t)
+	w := Wrap(a, Verdict{Kind: Stall, After: 0})
+	done := make(chan error, 1)
+	go func() {
+		_, err := w.Read(make([]byte, 1))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	w.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("stalled read returned nil after close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stalled read did not unblock on close")
+	}
+}
+
+// TestWrapSlowReader: reads are throttled but data still flows.
+func TestWrapSlowReader(t *testing.T) {
+	a, b := pipeConns(t)
+	w := Wrap(a, Verdict{Kind: SlowReader, Throttle: 30 * time.Millisecond})
+	go func() { _, _ = b.Write([]byte("hello")) }()
+	start := time.Now()
+	buf := make([]byte, 5)
+	n, err := w.Read(buf)
+	if err != nil || n == 0 {
+		t.Fatalf("throttled read: n=%d err=%v", n, err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("throttled read returned in %v, want >= 30ms", elapsed)
+	}
+}
+
+// TestWrapPassthrough: None and Drop leave the conn untouched.
+func TestWrapPassthrough(t *testing.T) {
+	a, _ := pipeConns(t)
+	if Wrap(a, Verdict{}) != a {
+		t.Fatal("None verdict wrapped the conn")
+	}
+	if Wrap(a, Verdict{Kind: Drop, DropNth: 2}) != a {
+		t.Fatal("Drop verdict wrapped the conn (it is send-path-level)")
+	}
+}
+
+// TestRecorderReplayEquality: two recorded runs of the same plan over the
+// same key sequence produce identical logs — the replayability contract.
+func TestRecorderReplayEquality(t *testing.T) {
+	run := func() []string {
+		rec := NewRecorder(Mixed(11, 0.4))
+		for node := uint64(1); node <= 4; node++ {
+			for remote := uint64(1); remote <= 4; remote++ {
+				rec.Dial(node, "10.0.0.1:1", int(remote))
+				rec.Conn(node, remote, 0)
+			}
+		}
+		return rec.Log()
+	}
+	first, second := run(), run()
+	if len(first) != len(second) {
+		t.Fatalf("log lengths differ: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("log line %d differs:\n%s\n%s", i, first[i], second[i])
+		}
+	}
+}

@@ -5,38 +5,199 @@
 // The package is the "deployment" counterpart of the simulator: the same
 // scoring code (internal/core) ranks peers using timestamps measured on
 // real connections. Artificial per-peer latency can be injected to run
-// planet-scale experiments on a single machine (see cmd/perigee-cluster).
+// planet-scale experiments on a single machine (see cmd/perigee-cluster),
+// and deterministic connection faults can be injected through a
+// faults.Plan for chaos experiments.
 package p2p
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
 	"sync"
+	"time"
 )
 
-// AddrBook is a thread-safe set of known peer addresses (the node's
-// addrMan, §2.1).
+// Address-book policy defaults; see BookConfig.
+const (
+	DefaultBookCap       = 1024
+	DefaultDialBudget    = 8
+	DefaultBackoffBase   = 500 * time.Millisecond
+	DefaultBackoffMax    = 2 * time.Minute
+	DefaultBanThreshold  = 100
+	DefaultBanDuration   = 10 * time.Minute
+	DefaultDecayHalfLife = 5 * time.Minute
+)
+
+// BookConfig tunes the address book's health, backoff, and ban policy.
+// The zero value resolves every field to the package defaults.
+type BookConfig struct {
+	// Cap bounds the number of stored addresses; adding beyond it evicts
+	// the unhealthiest entry (banned first, then most failures, then
+	// least recently seen). Default 1024.
+	Cap int
+	// DialBudget is the consecutive-dial-failure budget: an address
+	// failing this many times in a row is evicted (it can return via
+	// gossip, re-entering with a clean slate). Default 8.
+	DialBudget int
+	// BackoffBase is the delay before the first redial of a failed
+	// address; each further failure doubles it (with deterministic
+	// per-address jitter) up to BackoffMax. Defaults 500ms / 2min.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// BanThreshold is the decayed misbehavior score at which a peer is
+	// banned; BanDuration is how long the ban lasts. Defaults 100 / 10min.
+	BanThreshold float64
+	BanDuration  time.Duration
+	// DecayHalfLife halves a peer's misbehavior score per elapsed
+	// interval, so transient faults heal. Default 5min.
+	DecayHalfLife time.Duration
+}
+
+func (c BookConfig) withDefaults() BookConfig {
+	if c.Cap <= 0 {
+		c.Cap = DefaultBookCap
+	}
+	if c.DialBudget <= 0 {
+		c.DialBudget = DefaultDialBudget
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = DefaultBackoffBase
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = DefaultBackoffMax
+	}
+	if c.BanThreshold <= 0 {
+		c.BanThreshold = DefaultBanThreshold
+	}
+	if c.BanDuration <= 0 {
+		c.BanDuration = DefaultBanDuration
+	}
+	if c.DecayHalfLife <= 0 {
+		c.DecayHalfLife = DefaultDecayHalfLife
+	}
+	return c
+}
+
+// addrEntry is one address's health record.
+type addrEntry struct {
+	Addr        string    `json:"addr"`
+	Added       time.Time `json:"added"`
+	LastSeen    time.Time `json:"last_seen"`
+	LastSuccess time.Time `json:"last_success,omitempty"`
+	Fails       int       `json:"fails,omitempty"`
+	NextDial    time.Time `json:"next_dial,omitempty"`
+	BanUntil    time.Time `json:"ban_until,omitempty"`
+}
+
+// idScore tracks one peer identity's decaying misbehavior score.
+type idScore struct {
+	Score    float64   `json:"score"`
+	At       time.Time `json:"at"` // last decay checkpoint
+	BanUntil time.Time `json:"ban_until,omitempty"`
+}
+
+// AddrBook is the node's persistent peer-health registry (its addrMan,
+// §2.1): a capped set of known addresses with per-address dial health and
+// exponential backoff, plus per-identity misbehavior scores feeding the
+// ban policy. All methods are safe for concurrent use.
 type AddrBook struct {
+	cfg BookConfig
+	now func() time.Time
+
 	mu    sync.RWMutex
-	addrs map[string]struct{}
+	addrs map[string]*addrEntry
+	self  map[string]bool
+	ids   map[uint64]*idScore
 }
 
-// NewAddrBook returns an empty address book.
-func NewAddrBook() *AddrBook {
-	return &AddrBook{addrs: make(map[string]struct{})}
+// NewAddrBook returns an empty address book with default policy.
+func NewAddrBook() *AddrBook { return NewAddrBookWith(BookConfig{}) }
+
+// NewAddrBookWith returns an empty address book with the given policy;
+// zero fields take the defaults.
+func NewAddrBookWith(cfg BookConfig) *AddrBook {
+	return &AddrBook{
+		cfg:   cfg.withDefaults(),
+		now:   time.Now,
+		addrs: make(map[string]*addrEntry),
+		self:  make(map[string]bool),
+		ids:   make(map[uint64]*idScore),
+	}
 }
 
-// Add records addresses; empty strings are ignored.
-func (b *AddrBook) Add(addrs ...string) {
+// MarkSelf registers the node's own addresses: they are never stored and
+// are dropped if already present, so addr-gossip echoing the node back to
+// itself cannot waste book slots or dial attempts.
+func (b *AddrBook) MarkSelf(addrs ...string) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for _, a := range addrs {
 		if a == "" {
 			continue
 		}
-		b.addrs[a] = struct{}{}
+		b.self[a] = true
+		delete(b.addrs, a)
 	}
 }
 
-// Remove deletes an address (e.g. one that repeatedly fails to dial).
+// Add records addresses; empty strings and the node's own addresses are
+// ignored. When the book is at capacity the unhealthiest entry is evicted
+// to make room — a single gossiping peer can no longer grow the book
+// without bound.
+func (b *AddrBook) Add(addrs ...string) {
+	now := b.now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, a := range addrs {
+		if a == "" || b.self[a] {
+			continue
+		}
+		if e, ok := b.addrs[a]; ok {
+			e.LastSeen = now
+			continue
+		}
+		if len(b.addrs) >= b.cfg.Cap {
+			if !b.evictLocked(now) {
+				continue // everything else is healthier than a newcomer
+			}
+		}
+		b.addrs[a] = &addrEntry{Addr: a, Added: now, LastSeen: now}
+	}
+}
+
+// evictLocked removes the unhealthiest entry: banned first, then most
+// consecutive failures, then least recently seen. Reports whether a slot
+// was freed.
+func (b *AddrBook) evictLocked(now time.Time) bool {
+	var victim *addrEntry
+	worse := func(e, v *addrEntry) bool {
+		eBanned, vBanned := now.Before(e.BanUntil), now.Before(v.BanUntil)
+		if eBanned != vBanned {
+			return eBanned
+		}
+		if e.Fails != v.Fails {
+			return e.Fails > v.Fails
+		}
+		return e.LastSeen.Before(v.LastSeen)
+	}
+	for _, e := range b.addrs {
+		if victim == nil || worse(e, victim) {
+			victim = e
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	delete(b.addrs, victim.Addr)
+	return true
+}
+
+// Remove deletes an address.
 func (b *AddrBook) Remove(addr string) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -50,7 +211,7 @@ func (b *AddrBook) Len() int {
 	return len(b.addrs)
 }
 
-// All returns every known address (unordered).
+// All returns every known address, sorted for deterministic iteration.
 func (b *AddrBook) All() []string {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
@@ -58,6 +219,24 @@ func (b *AddrBook) All() []string {
 	for a := range b.addrs {
 		out = append(out, a)
 	}
+	sort.Strings(out)
+	return out
+}
+
+// Dialable returns the addresses currently worth dialing: not banned and
+// past their backoff gate, sorted for deterministic iteration.
+func (b *AddrBook) Dialable() []string {
+	now := b.now()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]string, 0, len(b.addrs))
+	for a, e := range b.addrs {
+		if now.Before(e.NextDial) || now.Before(e.BanUntil) {
+			continue
+		}
+		out = append(out, a)
+	}
+	sort.Strings(out)
 	return out
 }
 
@@ -67,4 +246,263 @@ func (b *AddrBook) Contains(addr string) bool {
 	defer b.mu.RUnlock()
 	_, ok := b.addrs[addr]
 	return ok
+}
+
+// DialFailed records a failed dial or handshake to addr: the failure
+// count grows, the next dial is pushed out exponentially (with
+// deterministic per-(addr, fails) jitter so replays agree), and once the
+// consecutive-failure budget is spent the address is evicted. Reports
+// whether the address was evicted.
+func (b *AddrBook) DialFailed(addr string) (evicted bool) {
+	now := b.now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e, ok := b.addrs[addr]
+	if !ok {
+		return false
+	}
+	e.Fails++
+	if e.Fails >= b.cfg.DialBudget {
+		delete(b.addrs, addr)
+		return true
+	}
+	backoff := b.cfg.BackoffBase << (e.Fails - 1)
+	if backoff > b.cfg.BackoffMax || backoff <= 0 {
+		backoff = b.cfg.BackoffMax
+	}
+	// Deterministic jitter in [0.75, 1.25): stateless, so a replayed run
+	// schedules identical retry times.
+	backoff = time.Duration(float64(backoff) * (0.75 + 0.5*hashFrac(addr, e.Fails)))
+	e.NextDial = now.Add(backoff)
+	return false
+}
+
+// NextDialIn reports how long until addr may be dialed again (zero when
+// dialable now or unknown) — exposed for tests and diagnostics.
+func (b *AddrBook) NextDialIn(addr string) time.Duration {
+	now := b.now()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	e, ok := b.addrs[addr]
+	if !ok {
+		return 0
+	}
+	gate := e.NextDial
+	if e.BanUntil.After(gate) {
+		gate = e.BanUntil
+	}
+	if d := gate.Sub(now); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// Fails returns addr's consecutive dial-failure count.
+func (b *AddrBook) Fails(addr string) int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if e, ok := b.addrs[addr]; ok {
+		return e.Fails
+	}
+	return 0
+}
+
+// DialSucceeded records a completed dial+handshake: the failure count and
+// backoff gate reset, and the address is (re-)added if gossip hadn't
+// delivered it yet.
+func (b *AddrBook) DialSucceeded(addr string) {
+	if addr == "" {
+		return
+	}
+	now := b.now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.self[addr] {
+		return
+	}
+	e, ok := b.addrs[addr]
+	if !ok {
+		if len(b.addrs) >= b.cfg.Cap && !b.evictLocked(now) {
+			return
+		}
+		e = &addrEntry{Addr: addr, Added: now}
+		b.addrs[addr] = e
+	}
+	e.Fails = 0
+	e.NextDial = time.Time{}
+	e.LastSeen = now
+	e.LastSuccess = now
+}
+
+// decayedLocked returns the identity's score decayed to now.
+func (b *AddrBook) decayedLocked(s *idScore, now time.Time) float64 {
+	if s.Score <= 0 {
+		return 0
+	}
+	elapsed := now.Sub(s.At)
+	if elapsed <= 0 {
+		return s.Score
+	}
+	halves := float64(elapsed) / float64(b.cfg.DecayHalfLife)
+	return s.Score * math.Exp2(-halves)
+}
+
+// Misbehave charges points of misbehavior to a peer identity, decaying
+// the existing score first. When the score crosses the ban threshold the
+// identity is banned for the configured duration and — when its listening
+// address is known — the address is gated too, so banned peers are both
+// refused on accept and skipped on dial. Reports whether the peer is now
+// banned.
+func (b *AddrBook) Misbehave(id uint64, listenAddr string, points float64) (banned bool) {
+	if points <= 0 {
+		return b.IDBanned(id)
+	}
+	now := b.now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s, ok := b.ids[id]
+	if !ok {
+		s = &idScore{At: now}
+		b.ids[id] = s
+	}
+	s.Score = b.decayedLocked(s, now) + points
+	s.At = now
+	if s.Score >= b.cfg.BanThreshold {
+		s.BanUntil = now.Add(b.cfg.BanDuration)
+		banned = true
+		if e, ok := b.addrs[listenAddr]; ok {
+			e.BanUntil = s.BanUntil
+		}
+	}
+	return banned
+}
+
+// Score returns the identity's current (decayed) misbehavior score.
+func (b *AddrBook) Score(id uint64) float64 {
+	now := b.now()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	s, ok := b.ids[id]
+	if !ok {
+		return 0
+	}
+	return b.decayedLocked(s, now)
+}
+
+// IDBanned reports whether the peer identity is currently banned.
+func (b *AddrBook) IDBanned(id uint64) bool {
+	now := b.now()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	s, ok := b.ids[id]
+	return ok && now.Before(s.BanUntil)
+}
+
+// AddrBanned reports whether the address is currently gated by a ban.
+func (b *AddrBook) AddrBanned(addr string) bool {
+	now := b.now()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	e, ok := b.addrs[addr]
+	return ok && now.Before(e.BanUntil)
+}
+
+// BannedIDs returns the currently banned identities, sorted.
+func (b *AddrBook) BannedIDs() []uint64 {
+	now := b.now()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var out []uint64
+	for id, s := range b.ids {
+		if now.Before(s.BanUntil) {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// bookSnapshot is the book's JSON persistence shape.
+type bookSnapshot struct {
+	Addrs []addrEntry         `json:"addrs"`
+	IDs   map[string]*idScore `json:"ids,omitempty"`
+}
+
+// Save writes the book (addresses, health, bans) as JSON to path,
+// atomically via a temp-file rename.
+func (b *AddrBook) Save(path string) error {
+	b.mu.RLock()
+	snap := bookSnapshot{IDs: make(map[string]*idScore, len(b.ids))}
+	for _, e := range b.addrs {
+		snap.Addrs = append(snap.Addrs, *e)
+	}
+	for id, s := range b.ids {
+		cp := *s
+		snap.IDs[fmt.Sprintf("%016x", id)] = &cp
+	}
+	b.mu.RUnlock()
+	sort.Slice(snap.Addrs, func(i, j int) bool { return snap.Addrs[i].Addr < snap.Addrs[j].Addr })
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return fmt.Errorf("p2p: encoding address book: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o600); err != nil {
+		return fmt.Errorf("p2p: writing address book: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load merges a saved book into this one. Missing files are not an
+// error — a first run simply starts empty.
+func (b *AddrBook) Load(path string) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("p2p: reading address book: %w", err)
+	}
+	var snap bookSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("p2p: decoding address book %s: %w", path, err)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := range snap.Addrs {
+		e := snap.Addrs[i]
+		if e.Addr == "" || b.self[e.Addr] {
+			continue
+		}
+		if len(b.addrs) >= b.cfg.Cap {
+			break
+		}
+		if _, ok := b.addrs[e.Addr]; !ok {
+			cp := e
+			b.addrs[e.Addr] = &cp
+		}
+	}
+	for key, s := range snap.IDs {
+		var id uint64
+		if _, err := fmt.Sscanf(key, "%x", &id); err != nil || id == 0 {
+			continue
+		}
+		if _, ok := b.ids[id]; !ok && s != nil {
+			cp := *s
+			b.ids[id] = &cp
+		}
+	}
+	return nil
+}
+
+// hashFrac maps (addr, n) to a deterministic value in [0, 1).
+func hashFrac(addr string, n int) float64 {
+	h := sha256.New()
+	h.Write([]byte(addr))
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(n))
+	h.Write(buf[:])
+	var digest [32]byte
+	h.Sum(digest[:0])
+	return float64(binary.LittleEndian.Uint64(digest[:8])>>11) / float64(1<<53)
 }

@@ -1,0 +1,205 @@
+package p2p
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// fakeClock drives an AddrBook through virtual time.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newClockBook(cfg BookConfig) (*AddrBook, *fakeClock) {
+	b := NewAddrBookWith(cfg)
+	c := &fakeClock{t: time.Unix(1700000000, 0)}
+	b.now = c.now
+	return b, c
+}
+
+// TestBookCapEvictsUnhealthiest: the book is bounded, and the victim
+// preference is banned > most-failed > least recently seen.
+func TestBookCapEvictsUnhealthiest(t *testing.T) {
+	b, c := newClockBook(BookConfig{Cap: 3})
+	b.Add("a:1")
+	c.advance(time.Second)
+	b.Add("b:1")
+	c.advance(time.Second)
+	b.Add("c:1")
+	// c:1 has a failure; it should be evicted before the merely-old a:1.
+	b.DialFailed("c:1")
+	b.Add("d:1")
+	if b.Contains("c:1") {
+		t.Fatal("failed entry survived eviction")
+	}
+	if !b.Contains("a:1") || !b.Contains("b:1") || !b.Contains("d:1") {
+		t.Fatalf("wrong survivors: %v", b.All())
+	}
+	if b.Len() != 3 {
+		t.Fatalf("book grew past cap: %d", b.Len())
+	}
+	// With equal health, the least recently seen entry goes.
+	b.Add("e:1")
+	if b.Contains("a:1") {
+		t.Fatal("oldest entry survived over fresher ones")
+	}
+}
+
+// TestBookIgnoresSelf: self-addresses are never stored, even when gossip
+// echoes them back after MarkSelf.
+func TestBookIgnoresSelf(t *testing.T) {
+	b, _ := newClockBook(BookConfig{})
+	b.Add("me:9")
+	b.MarkSelf("me:9")
+	if b.Contains("me:9") {
+		t.Fatal("MarkSelf did not drop the stored self-address")
+	}
+	b.Add("me:9", "other:1")
+	if b.Contains("me:9") {
+		t.Fatal("self-address re-added by gossip")
+	}
+	if !b.Contains("other:1") {
+		t.Fatal("legitimate address dropped")
+	}
+	b.DialSucceeded("me:9")
+	if b.Contains("me:9") {
+		t.Fatal("DialSucceeded stored a self-address")
+	}
+}
+
+// TestBookBackoffAndBudget: failures push the next dial out
+// exponentially, success resets, and the consecutive-failure budget
+// evicts dead seeds.
+func TestBookBackoffAndBudget(t *testing.T) {
+	b, c := newClockBook(BookConfig{DialBudget: 4, BackoffBase: time.Second, BackoffMax: time.Hour})
+	b.Add("seed:1")
+	if got := b.Dialable(); len(got) != 1 {
+		t.Fatalf("fresh address not dialable: %v", got)
+	}
+	var prev time.Duration
+	for i := 1; i < 4; i++ {
+		if evicted := b.DialFailed("seed:1"); evicted {
+			t.Fatalf("evicted after %d failures, budget is 4", i)
+		}
+		next := b.NextDialIn("seed:1")
+		if next <= 0 {
+			t.Fatalf("failure %d left no backoff gate", i)
+		}
+		if next <= prev {
+			t.Fatalf("backoff not growing: %v after %v", next, prev)
+		}
+		if len(b.Dialable()) != 0 {
+			t.Fatal("backed-off address still dialable")
+		}
+		// The jittered gate stays within [0.75, 1.25) of the nominal 2^(i-1)s.
+		nominal := time.Duration(1<<(i-1)) * time.Second
+		if next < 3*nominal/4 || next >= 5*nominal/4 {
+			t.Fatalf("failure %d backoff %v outside jitter band of %v", i, next, nominal)
+		}
+		prev = next
+		c.advance(next)
+		if len(b.Dialable()) != 1 {
+			t.Fatal("address not dialable after backoff expired")
+		}
+	}
+	// Success wipes the slate.
+	b.DialSucceeded("seed:1")
+	if b.Fails("seed:1") != 0 || b.NextDialIn("seed:1") != 0 {
+		t.Fatal("success did not reset failure state")
+	}
+	// Budget exhaustion evicts.
+	for i := 0; i < 4; i++ {
+		b.DialFailed("seed:1")
+	}
+	if b.Contains("seed:1") {
+		t.Fatal("address survived an exhausted failure budget")
+	}
+}
+
+// TestBookMisbehaviorBanAndDecay: scores accumulate to a ban, bans gate
+// both the identity and its address, and decay heals transient sinners.
+func TestBookMisbehaviorBanAndDecay(t *testing.T) {
+	b, c := newClockBook(BookConfig{
+		BanThreshold:  100,
+		BanDuration:   time.Minute,
+		DecayHalfLife: time.Minute,
+	})
+	b.Add("bad:1")
+	if banned := b.Misbehave(42, "bad:1", 60); banned {
+		t.Fatal("banned below threshold")
+	}
+	if banned := b.Misbehave(42, "bad:1", 60); !banned {
+		t.Fatal("not banned at 120 points")
+	}
+	if !b.IDBanned(42) || !b.AddrBanned("bad:1") {
+		t.Fatal("ban did not gate both identity and address")
+	}
+	if got := b.BannedIDs(); len(got) != 1 || got[0] != 42 {
+		t.Fatalf("BannedIDs = %v", got)
+	}
+	for _, a := range b.Dialable() {
+		if a == "bad:1" {
+			t.Fatal("banned address listed as dialable")
+		}
+	}
+	// The ban expires with time and the decayed score has healed.
+	c.advance(2 * time.Minute)
+	if b.IDBanned(42) || b.AddrBanned("bad:1") {
+		t.Fatal("ban did not expire")
+	}
+	if s := b.Score(42); s >= 60 {
+		t.Fatalf("score %v did not decay (was 120, two half-lives passed)", s)
+	}
+	// A transient fault no longer tips a healed peer over.
+	if banned := b.Misbehave(42, "bad:1", 40); banned {
+		t.Fatal("healed peer re-banned by a small charge")
+	}
+}
+
+// TestBookPersistence: Save/Load round-trips addresses, health, and bans.
+func TestBookPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "book.json")
+	b, _ := newClockBook(BookConfig{})
+	b.Add("x:1", "y:2")
+	b.DialFailed("x:1")
+	b.Misbehave(7, "y:2", 500)
+	if err := b.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := newClockBook(BookConfig{})
+	if err := fresh.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if !fresh.Contains("x:1") || !fresh.Contains("y:2") {
+		t.Fatalf("addresses lost: %v", fresh.All())
+	}
+	if fresh.Fails("x:1") != 1 {
+		t.Fatalf("failure count lost: %d", fresh.Fails("x:1"))
+	}
+	if !fresh.IDBanned(7) || !fresh.AddrBanned("y:2") {
+		t.Fatal("ban state lost")
+	}
+	// Loading a missing file is a clean no-op.
+	empty, _ := newClockBook(BookConfig{})
+	if err := empty.Load(filepath.Join(t.TempDir(), "absent.json")); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Len() != 0 {
+		t.Fatal("missing file produced entries")
+	}
+}
+
+// TestBookGossipFloodBounded is the regression for the unbounded-book
+// satellite: a single peer gossiping thousands of addresses cannot grow
+// the book past its cap.
+func TestBookGossipFloodBounded(t *testing.T) {
+	b, _ := newClockBook(BookConfig{Cap: 50})
+	for i := 0; i < 5000; i++ {
+		b.Add(fmt.Sprintf("10.0.%d.%d:8333", i/256, i%256))
+	}
+	if b.Len() > 50 {
+		t.Fatalf("book grew to %d entries past its cap of 50", b.Len())
+	}
+}

@@ -4,12 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sort"
 	"sync"
 	"time"
 
 	"github.com/perigee-net/perigee/internal/chain"
 	"github.com/perigee-net/perigee/internal/core"
+	"github.com/perigee-net/perigee/internal/faults"
 	"github.com/perigee-net/perigee/internal/rng"
 	"github.com/perigee-net/perigee/internal/stats"
 	"github.com/perigee-net/perigee/internal/wire"
@@ -74,6 +76,39 @@ type Config struct {
 	Frozen bool
 	// HandshakeTimeout bounds the version exchange (default 5s).
 	HandshakeTimeout time.Duration
+	// Book tunes the address book's capacity, dial backoff, and banning
+	// policy; zero-valued fields resolve to the package defaults.
+	Book BookConfig
+	// AddrBookPath, when non-empty, loads the address book from this file
+	// at construction and saves it on Stop, so peer health and bans
+	// survive restarts. A missing file is not an error.
+	AddrBookPath string
+	// Faults, when non-nil, injects deterministic connection faults from
+	// the plan: dials may be failed outright and established connections
+	// wrapped with resets, stalls, throttles, or message drops. Nil means
+	// no injection (production).
+	Faults faults.Plan
+	// ReadIdleTimeout bounds silence on a connection (default 90s). After
+	// one idle interval the peer is probed with a ping; a second silent
+	// interval disconnects it. This is what reclaims connections hung by
+	// stalls or half-open TCP.
+	ReadIdleTimeout time.Duration
+	// WriteTimeout bounds each frame write (default 10s); a peer that
+	// cannot absorb a frame in this long is disconnected by its write
+	// loop.
+	WriteTimeout time.Duration
+	// MaxSendQueueDrops is the consecutive full-queue send-drop budget
+	// after which a slow consumer is disconnected rather than silently
+	// starved (default 64).
+	MaxSendQueueDrops int
+	// RedialInterval, when positive, runs a maintenance loop that redials
+	// addresses from the book whenever the outbound degree has fallen
+	// below OutDegree — recovery between Perigee rounds. Zero disables
+	// the loop (rounds still re-dial).
+	RedialInterval time.Duration
+	// DrainTimeout bounds the graceful flush of peer send queues during
+	// Stop (default 1s).
+	DrainTimeout time.Duration
 	// Logf, when non-nil, receives diagnostic log lines.
 	Logf func(format string, args ...any)
 }
@@ -115,6 +150,29 @@ func (c *Config) applyDefaults() error {
 	} else if c.HandshakeTimeout < 0 {
 		return fmt.Errorf("p2p: negative handshake timeout %v", c.HandshakeTimeout)
 	}
+	if c.ReadIdleTimeout == 0 {
+		c.ReadIdleTimeout = 90 * time.Second
+	} else if c.ReadIdleTimeout < 0 {
+		return fmt.Errorf("p2p: negative read idle timeout %v", c.ReadIdleTimeout)
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 10 * time.Second
+	} else if c.WriteTimeout < 0 {
+		return fmt.Errorf("p2p: negative write timeout %v", c.WriteTimeout)
+	}
+	if c.MaxSendQueueDrops == 0 {
+		c.MaxSendQueueDrops = 64
+	} else if c.MaxSendQueueDrops < 0 {
+		return fmt.Errorf("p2p: send queue drop budget %d must be positive", c.MaxSendQueueDrops)
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = time.Second
+	} else if c.DrainTimeout < 0 {
+		return fmt.Errorf("p2p: negative drain timeout %v", c.DrainTimeout)
+	}
+	if c.RedialInterval < 0 {
+		return fmt.Errorf("p2p: negative redial interval %v", c.RedialInterval)
+	}
 	return nil
 }
 
@@ -145,7 +203,57 @@ type Node struct {
 	roundMu       sync.Mutex
 	roundInFlight bool
 
+	// dialMu guards the per-address and per-peer attempt counters that
+	// index into the fault plan's verdict streams.
+	dialMu       sync.Mutex
+	dialAttempts map[string]int
+	connAttempts map[uint64]int
+
+	resMu sync.Mutex
+	res   ResilienceStats
+
 	wg sync.WaitGroup
+}
+
+// ResilienceStats counts the node's defensive actions since start.
+type ResilienceStats struct {
+	// AcceptsShed is the number of inbound connections declined because
+	// the inbound cap was reached.
+	AcceptsShed int
+	// BannedRefused is the number of connections refused (on accept or
+	// dial) because the remote was banned.
+	BannedRefused int
+	// DialFailures is the number of failed dial or handshake attempts
+	// recorded against the address book.
+	DialFailures int
+	// FaultedDials is the number of dials failed by the injected fault
+	// plan (a subset of DialFailures).
+	FaultedDials int
+	// FaultedConns is the number of established connections wrapped with
+	// an injected fault.
+	FaultedConns int
+	// Bans is the number of peers banned for accumulated misbehavior.
+	Bans int
+	// SlowConsumerDrops is the number of peers disconnected for never
+	// draining their send queue.
+	SlowConsumerDrops int
+	// Redials is the number of connections re-established by the
+	// maintenance loop.
+	Redials int
+}
+
+// Resilience returns a snapshot of the node's defensive-action counters.
+func (n *Node) Resilience() ResilienceStats {
+	n.resMu.Lock()
+	defer n.resMu.Unlock()
+	return n.res
+}
+
+// countRes applies one mutation to the resilience counters under the lock.
+func (n *Node) countRes(f func(*ResilienceStats)) {
+	n.resMu.Lock()
+	f(&n.res)
+	n.resMu.Unlock()
 }
 
 // ErrStopped is returned by operations on a stopped node.
@@ -178,18 +286,29 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.NodeID == 0 {
 		cfg.NodeID = r.Uint64() | 1 // never zero
 	}
+	book := NewAddrBookWith(cfg.Book)
+	if cfg.AddrBookPath != "" {
+		if err := book.Load(cfg.AddrBookPath); err != nil {
+			return nil, fmt.Errorf("p2p: address book: %w", err)
+		}
+	}
+	if cfg.ListenAddr != "" {
+		book.MarkSelf(cfg.ListenAddr)
+	}
 	return &Node{
-		cfg:       cfg,
-		store:     store,
-		book:      NewAddrBook(),
-		rand:      r,
-		selector:  selector,
-		selRand:   rng.New(cfg.Seed).Derive("p2p-selector"),
-		peers:     make(map[uint64]*peer),
-		quit:      make(chan struct{}),
-		firstSeen: make(map[chain.Hash]map[uint64]time.Time),
-		requested: make(map[chain.Hash]time.Time),
-		orphans:   make(map[chain.Hash][]*chain.Block),
+		cfg:          cfg,
+		store:        store,
+		book:         book,
+		rand:         r,
+		selector:     selector,
+		selRand:      rng.New(cfg.Seed).Derive("p2p-selector"),
+		peers:        make(map[uint64]*peer),
+		quit:         make(chan struct{}),
+		firstSeen:    make(map[chain.Hash]map[uint64]time.Time),
+		requested:    make(map[chain.Hash]time.Time),
+		orphans:      make(map[chain.Hash][]*chain.Block),
+		dialAttempts: make(map[string]int),
+		connAttempts: make(map[uint64]int),
 	}, nil
 }
 
@@ -208,26 +327,85 @@ func (n *Node) logf(format string, args ...any) {
 	}
 }
 
-// Start begins listening (when configured) and accepting connections.
+// Start begins listening (when configured), accepting connections, and —
+// when RedialInterval is set — maintaining the outbound degree.
 func (n *Node) Start() error {
-	if n.cfg.ListenAddr == "" {
-		return nil
-	}
-	ln, err := net.Listen("tcp", n.cfg.ListenAddr)
-	if err != nil {
-		return fmt.Errorf("p2p: listen: %w", err)
-	}
-	n.mu.Lock()
-	if n.closed {
+	if n.cfg.ListenAddr != "" {
+		ln, err := net.Listen("tcp", n.cfg.ListenAddr)
+		if err != nil {
+			return fmt.Errorf("p2p: listen: %w", err)
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			_ = ln.Close()
+			return ErrStopped
+		}
+		n.listener = ln
 		n.mu.Unlock()
-		_ = ln.Close()
-		return ErrStopped
+		// The resolved address (real port) must never re-enter the book
+		// through gossip.
+		n.book.MarkSelf(ln.Addr().String())
+		n.wg.Add(1)
+		go n.acceptLoop(ln)
 	}
-	n.listener = ln
-	n.mu.Unlock()
-	n.wg.Add(1)
-	go n.acceptLoop(ln)
+	if n.cfg.RedialInterval > 0 && !n.cfg.Frozen {
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			return ErrStopped
+		}
+		n.wg.Add(1)
+		n.mu.Unlock()
+		go n.maintainLoop()
+	}
 	return nil
+}
+
+// maintainLoop periodically tops the outbound set back up to OutDegree
+// from the address book — the recovery path for connections lost to
+// faults between Perigee rounds.
+func (n *Node) maintainLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.cfg.RedialInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.quit:
+			return
+		case <-ticker.C:
+			n.redialToTarget()
+		}
+	}
+}
+
+func (n *Node) redialToTarget() {
+	need := n.cfg.OutDegree - n.OutboundCount()
+	if need <= 0 {
+		return
+	}
+	exclude := map[string]bool{n.Addr(): true}
+	for _, p := range n.peerSnapshot() {
+		if p.listenAddr != "" {
+			exclude[p.listenAddr] = true
+		}
+	}
+	candidates := n.book.Dialable()
+	n.shuffleStrings(candidates)
+	for _, addr := range candidates {
+		if need <= 0 {
+			return
+		}
+		if exclude[addr] {
+			continue
+		}
+		if err := n.Connect(addr); err != nil {
+			n.logf("redial %s: %v", addr, err)
+			continue
+		}
+		n.countRes(func(r *ResilienceStats) { r.Redials++ })
+		need--
+	}
 }
 
 // Addr returns the actual listening address, or "" when not listening.
@@ -248,8 +426,9 @@ func (n *Node) acceptLoop(ln net.Listener) {
 			return // listener closed
 		}
 		if n.inboundCount() >= n.cfg.MaxInbound {
-			// Incoming slots full: decline, as in §5.1.
+			// Incoming slots full: shed the connection, as in §5.1.
 			_ = conn.Close()
+			n.countRes(func(r *ResilienceStats) { r.AcceptsShed++ })
 			continue
 		}
 		n.wg.Add(1)
@@ -287,7 +466,13 @@ func (n *Node) OutboundCount() int {
 	return count
 }
 
-// Connect dials and handshakes an outbound peer.
+// ErrBanned is returned when dialing an address gated by a ban.
+var ErrBanned = errors.New("p2p: peer banned")
+
+// Connect dials and handshakes an outbound peer. Banned addresses are
+// refused, and every failure — injected, transport, or handshake — is
+// recorded against the address book so retries back off and dead seeds
+// are eventually evicted.
 func (n *Node) Connect(addr string) error {
 	n.mu.Lock()
 	if n.closed {
@@ -295,12 +480,59 @@ func (n *Node) Connect(addr string) error {
 		return ErrStopped
 	}
 	n.mu.Unlock()
+	if n.book.AddrBanned(addr) {
+		n.countRes(func(r *ResilienceStats) { r.BannedRefused++ })
+		return fmt.Errorf("p2p: dial %s: %w", addr, ErrBanned)
+	}
+	if n.cfg.Faults != nil {
+		attempt := n.nextDialAttempt(addr)
+		if v := n.cfg.Faults.Dial(n.cfg.NodeID, addr, attempt); v.Kind == faults.DialFail {
+			n.dialFailed(addr)
+			n.countRes(func(r *ResilienceStats) { r.FaultedDials++ })
+			return fmt.Errorf("p2p: dial %s: %w", addr, faults.ErrInjectedDial)
+		}
+	}
 	conn, err := net.DialTimeout("tcp", addr, n.cfg.HandshakeTimeout)
 	if err != nil {
+		n.dialFailed(addr)
 		return fmt.Errorf("p2p: dial %s: %w", addr, err)
 	}
 	n.book.Add(addr)
-	return n.setupPeer(conn, Outbound, addr)
+	if err := n.setupPeer(conn, Outbound, addr); err != nil {
+		n.dialFailed(addr)
+		return err
+	}
+	n.book.DialSucceeded(addr)
+	return nil
+}
+
+// dialFailed records one failed attempt toward addr's backoff gate and
+// failure budget.
+func (n *Node) dialFailed(addr string) {
+	if evicted := n.book.DialFailed(addr); evicted {
+		n.logf("evicted %s from address book (failure budget exhausted)", addr)
+	}
+	n.countRes(func(r *ResilienceStats) { r.DialFailures++ })
+}
+
+// nextDialAttempt returns the 0-based attempt index for addr, indexing
+// the fault plan's per-address verdict stream.
+func (n *Node) nextDialAttempt(addr string) int {
+	n.dialMu.Lock()
+	defer n.dialMu.Unlock()
+	a := n.dialAttempts[addr]
+	n.dialAttempts[addr] = a + 1
+	return a
+}
+
+// nextConnAttempt returns the 0-based attempt index for the remote node,
+// indexing the fault plan's per-pair verdict stream.
+func (n *Node) nextConnAttempt(remote uint64) int {
+	n.dialMu.Lock()
+	defer n.dialMu.Unlock()
+	a := n.connAttempts[remote]
+	n.connAttempts[remote] = a + 1
+	return a
 }
 
 // setupPeer performs the version handshake and installs the peer.
@@ -332,7 +564,28 @@ func (n *Node) setupPeer(conn net.Conn, dir Direction, dialedAddr string) error 
 		_ = conn.Close()
 		return fmt.Errorf("p2p: self connection detected")
 	}
+	if n.book.IDBanned(remote.NodeID) {
+		_ = conn.Close()
+		n.countRes(func(r *ResilienceStats) { r.BannedRefused++ })
+		return fmt.Errorf("p2p: %016x: %w", remote.NodeID, ErrBanned)
+	}
 	_ = conn.SetDeadline(time.Time{})
+
+	// Apply the fault plan's connection verdict: wrap the transport for
+	// resets/stalls/throttles, or arm the send path for message drops.
+	// The handshake above ran clean — dial-level faults cover that phase.
+	dropNth := 0
+	if n.cfg.Faults != nil {
+		attempt := n.nextConnAttempt(remote.NodeID)
+		if v := n.cfg.Faults.Conn(n.cfg.NodeID, remote.NodeID, attempt); v.Faulty() {
+			n.countRes(func(r *ResilienceStats) { r.FaultedConns++ })
+			n.logf("injecting %v on connection to %016x", v, remote.NodeID)
+			conn = faults.Wrap(conn, v)
+			if v.Kind == faults.Drop {
+				dropNth = v.DropNth
+			}
+		}
+	}
 
 	var delay time.Duration
 	if n.cfg.PeerDelay != nil {
@@ -343,6 +596,13 @@ func (n *Node) setupPeer(conn net.Conn, dir Direction, dialedAddr string) error 
 		listenAddr = dialedAddr
 	}
 	p := newPeer(remote.NodeID, dir, conn, listenAddr, delay)
+	p.writeTimeout = n.cfg.WriteTimeout
+	p.dropNth = dropNth
+	p.maxFullDrops = n.cfg.MaxSendQueueDrops
+	p.onSlowClose = func() {
+		n.countRes(func(r *ResilienceStats) { r.SlowConsumerDrops++ })
+		n.logf("disconnecting slow consumer %016x", remote.NodeID)
+	}
 
 	n.mu.Lock()
 	if n.closed {
@@ -441,14 +701,42 @@ func (n *Node) randUint64() uint64 {
 	return n.rand.Uint64()
 }
 
+// Misbehavior points charged for offenses above the wire layer.
+const (
+	// pointsInvalidBlock is charged for a block failing validation —
+	// expensive to receive, trivial for an honest peer to avoid sending.
+	pointsInvalidBlock = 50
+	// pointsHandshakeAbuse is charged for a Version/Verack after the
+	// handshake completed.
+	pointsHandshakeAbuse = 30
+)
+
 // readLoop dispatches messages from one peer until the connection dies.
+// Reads run under the idle deadline: one silent interval triggers a ping
+// probe, a second disconnects the peer — this is what reclaims stalled
+// or half-open connections. Protocol violations feed the misbehavior
+// score before disconnecting.
 func (n *Node) readLoop(p *peer) {
 	defer n.removePeer(p)
+	probed := false
 	for {
+		if n.cfg.ReadIdleTimeout > 0 {
+			_ = p.conn.SetReadDeadline(time.Now().Add(n.cfg.ReadIdleTimeout))
+		}
 		m, err := wire.Read(p.conn)
 		if err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) && !probed {
+				probed = true
+				p.send(&wire.Ping{Nonce: n.randUint64()})
+				continue
+			}
+			if pts := wire.ViolationPoints(err); pts > 0 {
+				n.logf("wire violation from %s: %v", p, err)
+				n.misbehave(p, pts)
+			}
 			return
 		}
+		probed = false
 		switch msg := m.(type) {
 		case *wire.Ping:
 			p.send(&wire.Pong{Nonce: msg.Nonce})
@@ -466,8 +754,19 @@ func (n *Node) readLoop(p *peer) {
 			n.handleGetAddr(p)
 		default:
 			// Version/Verack after handshake: protocol violation.
+			n.misbehave(p, pointsHandshakeAbuse)
 			return
 		}
+	}
+}
+
+// misbehave charges misbehavior points against a peer's identity and
+// address; crossing the ban threshold disconnects it immediately.
+func (n *Node) misbehave(p *peer, pts float64) {
+	if n.book.Misbehave(p.id, p.listenAddr, pts) {
+		n.countRes(func(r *ResilienceStats) { r.Bans++ })
+		n.logf("banned %s (misbehavior score over threshold)", p)
+		n.removePeer(p)
 	}
 }
 
@@ -552,6 +851,9 @@ func (n *Node) acceptBlock(from *peer, b *chain.Block, mined bool) {
 	}
 	if err := chain.CheckBlock(b); err != nil {
 		n.logf("rejecting invalid block %s: %v", h, err)
+		if from != nil {
+			n.misbehave(from, pointsInvalidBlock)
+		}
 		return
 	}
 	err := n.store.Add(b)
@@ -785,14 +1087,28 @@ func (n *Node) PerigeeRound() (RoundReport, error) {
 	}
 
 	// Exploration: spend the selector's dial budget on fresh addresses.
+	// The target is floored at the configured out-degree so a node whose
+	// outbound set was thinned by faults between rounds recovers instead
+	// of permanently shrinking.
 	target := len(outbound) - len(decision.Drop) + decision.Dial
+	if target < n.cfg.OutDegree {
+		target = n.cfg.OutDegree
+	}
 	exclude := map[string]bool{n.Addr(): true}
 	for _, p := range n.peerSnapshot() {
 		if p.listenAddr != "" {
 			exclude[p.listenAddr] = true
 		}
 	}
-	candidates := n.book.All()
+	// Never immediately redial a peer the selector just evicted.
+	for _, i := range decision.Drop {
+		if a := outbound[i].listenAddr; a != "" {
+			exclude[a] = true
+		}
+	}
+	// Dialable respects bans and backoff gates, so exploration cannot
+	// hot-loop on dead or abusive addresses.
+	candidates := n.book.Dialable()
 	n.shuffleStrings(candidates)
 	for _, addr := range candidates {
 		if n.OutboundCount() >= target {
@@ -896,8 +1212,10 @@ func (n *Node) ObservationWindow() int {
 	return len(n.order)
 }
 
-// Stop closes the listener and all connections and waits for every
-// goroutine to exit. Safe to call more than once.
+// Stop closes the listener, drains peer send queues for up to
+// DrainTimeout so queued announcements flush, closes all connections,
+// waits for every goroutine to exit, and persists the address book when
+// a path is configured. Safe to call more than once.
 func (n *Node) Stop() {
 	n.mu.Lock()
 	if n.closed {
@@ -916,10 +1234,21 @@ func (n *Node) Stop() {
 	if ln != nil {
 		_ = ln.Close()
 	}
+	// Graceful drain: the deadline is shared, so the total wait is
+	// bounded by DrainTimeout regardless of peer count.
+	deadline := time.Now().Add(n.cfg.DrainTimeout)
+	for _, p := range peers {
+		p.drain(deadline)
+	}
 	for _, p := range peers {
 		p.close()
 	}
 	n.wg.Wait()
+	if n.cfg.AddrBookPath != "" {
+		if err := n.book.Save(n.cfg.AddrBookPath); err != nil {
+			n.logf("saving address book: %v", err)
+		}
+	}
 }
 
 // Censored is re-exported for tests asserting on observation offsets.

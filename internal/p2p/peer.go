@@ -37,6 +37,22 @@ type peer struct {
 	listenAddr string // remote's accepting address, "" if not listening
 	delay      time.Duration
 
+	// writeTimeout bounds each frame write; zero disables the deadline.
+	writeTimeout time.Duration
+	// dropNth, when positive, silently discards every Nth enqueued
+	// message — the send-path half of a fault plan's Drop verdict.
+	dropNth int
+	// maxFullDrops is the consecutive full-queue drop budget after which
+	// the peer is disconnected as a slow consumer; zero disables it.
+	maxFullDrops int
+	// onSlowClose, when non-nil, is invoked once if the peer is closed
+	// for exhausting maxFullDrops.
+	onSlowClose func()
+
+	sendMu    sync.Mutex
+	sent      int // messages offered to the queue (feeds dropNth)
+	fullDrops int // consecutive messages lost to a full queue
+
 	sendCh chan wire.Message
 	done   chan struct{}
 
@@ -59,21 +75,49 @@ func newPeer(id uint64, dir Direction, conn net.Conn, listenAddr string, delay t
 
 // send enqueues a message; it reports false when the peer is shutting down
 // or its queue is full (slow peer — the message is dropped rather than
-// blocking the caller, like a full TCP send buffer).
+// blocking the caller, like a full TCP send buffer). A peer that keeps a
+// full queue for maxFullDrops consecutive sends is disconnected instead of
+// silently throttling the broadcast path forever.
 func (p *peer) send(m wire.Message) bool {
 	select {
 	case <-p.done:
 		return false
 	default:
 	}
+	p.sendMu.Lock()
+	if p.dropNth > 0 {
+		p.sent++
+		if p.sent%p.dropNth == 0 {
+			p.sendMu.Unlock()
+			return true // injected message drop: pretend it was sent
+		}
+	}
+	p.sendMu.Unlock()
 	select {
 	case p.sendCh <- m:
+		p.sendMu.Lock()
+		p.fullDrops = 0
+		p.sendMu.Unlock()
 		return true
 	case <-p.done:
 		return false
 	default:
-		return false
 	}
+	// Queue full: count the consecutive loss and cut off a consumer that
+	// never drains.
+	p.sendMu.Lock()
+	p.fullDrops++
+	// Exactly-equal so the mutex-serialized increment fires the slow-close
+	// path once even under concurrent sends.
+	slow := p.maxFullDrops > 0 && p.fullDrops == p.maxFullDrops
+	p.sendMu.Unlock()
+	if slow {
+		if p.onSlowClose != nil {
+			p.onSlowClose()
+		}
+		p.close()
+	}
+	return false
 }
 
 // writeLoop drains the send queue onto the connection, applying the
@@ -92,12 +136,28 @@ func (p *peer) writeLoop() {
 					return
 				}
 			}
+			if p.writeTimeout > 0 {
+				_ = p.conn.SetWriteDeadline(time.Now().Add(p.writeTimeout))
+			}
 			if err := wire.Write(p.conn, m); err != nil {
 				p.close()
 				return
 			}
 		case <-p.done:
 			return
+		}
+	}
+}
+
+// drain waits until the send queue is empty, the peer dies, or the
+// deadline passes — the graceful half of shutdown, giving the write loop
+// a bounded chance to flush queued announcements.
+func (p *peer) drain(deadline time.Time) {
+	for len(p.sendCh) > 0 && time.Now().Before(deadline) {
+		select {
+		case <-p.done:
+			return
+		case <-time.After(2 * time.Millisecond):
 		}
 	}
 }

@@ -72,9 +72,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	job, cacheHit, err := s.Submit(req)
 	switch {
 	case errors.Is(err, ErrQueueFull):
+		// Queued work drains continuously: a short retry is enough.
+		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	case errors.Is(err, ErrShuttingDown):
+		// A replacement instance, if any, takes longer than a queue slot.
+		w.Header().Set("Retry-After", "30")
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	case err != nil:

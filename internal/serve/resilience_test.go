@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/perigee-net/perigee/internal/experiments"
+)
+
+// postRaw submits without the helper so response headers are visible.
+func postRaw(t *testing.T, ts *httptest.Server, req SubmitRequest) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestWorkerSurvivesPanickingScenario: a scenario that panics fails its
+// job — with the panic message surfaced and the cache entry evicted so a
+// resubmission retries — and the worker keeps serving later jobs.
+func TestWorkerSurvivesPanickingScenario(t *testing.T) {
+	panicID := fmt.Sprintf("serve-test-panic-%d", time.Now().UnixNano())
+	okID := fmt.Sprintf("serve-test-ok-%d", time.Now().UnixNano())
+	if err := experiments.Register(experiments.Scenario{
+		ID:    panicID,
+		Brief: "test scenario that panics",
+		Run: func(opt experiments.Options) (*experiments.Result, error) {
+			panic("deliberate test panic")
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := experiments.Register(experiments.Scenario{
+		ID:    okID,
+		Brief: "test scenario that succeeds",
+		Run: func(opt experiments.Options) (*experiments.Result, error) {
+			return &experiments.Result{ID: okID}, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{QueueSize: 4, Workers: 1})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := SubmitRequest{Scenario: panicID, Quick: true, Options: tinyPatch(1)}
+	first, code := submit(t, ts, req)
+	if code != http.StatusAccepted {
+		t.Fatalf("submission returned %d", code)
+	}
+	done := waitDone(t, ts, first.ID)
+	if done.Status != StatusFailed {
+		t.Fatalf("panicking job finished %q, want failed", done.Status)
+	}
+	if !strings.Contains(done.Error, "panicked") {
+		t.Fatalf("job error %q does not surface the panic", done.Error)
+	}
+	// The failed run was evicted from the result cache: an identical
+	// resubmission is a fresh job, not a cache hit of the failure.
+	second, code := submit(t, ts, req)
+	if code != http.StatusAccepted {
+		t.Fatalf("resubmission after panic returned %d, want 202", code)
+	}
+	if second.CacheHit || second.ID == first.ID {
+		t.Fatalf("resubmission reused the failed job: %+v", second)
+	}
+	if got := waitDone(t, ts, second.ID); got.Status != StatusFailed {
+		t.Fatalf("second panicking run finished %q", got.Status)
+	}
+	// The single worker survived two panics and still runs honest jobs.
+	ok, code := submit(t, ts, SubmitRequest{Scenario: okID, Quick: true, Options: tinyPatch(2)})
+	if code != http.StatusAccepted {
+		t.Fatalf("healthy submission returned %d", code)
+	}
+	if got := waitDone(t, ts, ok.ID); got.Status != StatusDone {
+		t.Fatalf("healthy job after panics finished %q, want done", got.Status)
+	}
+}
+
+// TestRetryAfterHeaders: both 503 responses carry a Retry-After hint.
+func TestRetryAfterHeaders(t *testing.T) {
+	b := newBlockingScenario(t)
+	s := New(Config{QueueSize: 1, Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	job := func(seed uint64) SubmitRequest {
+		return SubmitRequest{Scenario: b.id, Quick: true, Options: tinyPatch(seed)}
+	}
+	if _, code := submit(t, ts, job(1)); code != http.StatusAccepted {
+		t.Fatalf("first submission returned %d", code)
+	}
+	select {
+	case <-b.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker never started the first job")
+	}
+	if _, code := submit(t, ts, job(2)); code != http.StatusAccepted {
+		t.Fatalf("second submission returned %d", code)
+	}
+	resp := postRaw(t, ts, job(3))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("queue-full submission returned %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("queue-full Retry-After = %q, want \"1\"", got)
+	}
+
+	close(b.release)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	resp = postRaw(t, ts, job(4))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-shutdown submission returned %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "30" {
+		t.Fatalf("shutdown Retry-After = %q, want \"30\"", got)
+	}
+}

@@ -334,7 +334,7 @@ func (s *Server) run(job *Job) {
 			job.appendEvent(Event{Kind: "trace", Arm: rec.Selector, Trial: rec.Trial, Trace: &rec})
 		}
 	}
-	res, err := experiments.Run(job.Scenario, opt)
+	res, err := s.runScenario(job, opt)
 
 	job.mu.Lock()
 	job.finished = time.Now()
@@ -349,4 +349,21 @@ func (s *Server) run(job *Job) {
 	job.mu.Unlock()
 	job.appendEvent(Event{Kind: "status", Status: status, Error: errMsg})
 	close(job.done)
+}
+
+// runScenario isolates one harness execution: a panicking scenario fails
+// its own job instead of killing the worker, and the job is evicted from
+// the result cache immediately so a resubmission retries it.
+func (s *Server) runScenario(job *Job, opt experiments.Options) (res *experiments.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("serve: scenario panicked: %v", r)
+			s.mu.Lock()
+			if s.byKey[job.Key] == job {
+				delete(s.byKey, job.Key)
+			}
+			s.mu.Unlock()
+		}
+	}()
+	return experiments.Run(job.Scenario, opt)
 }

@@ -141,7 +141,19 @@ func New(opts ...Option) (*Node, error) {
 		Genesis:          chain.NewGenesis(s.network),
 		PeerDelay:        s.peerDelay,
 		HandshakeTimeout: s.handshake,
-		Logf:             s.logf,
+		Faults:           s.faultPlan,
+		AddrBookPath:     s.bookPath,
+		ReadIdleTimeout:  s.idleTimeout,
+		RedialInterval:   s.redialEvery,
+		Book: p2p.BookConfig{
+			Cap:          s.bookCap,
+			BanThreshold: s.banThreshold,
+			BanDuration:  s.banDuration,
+			BackoffBase:  s.backoffBase,
+			BackoffMax:   s.backoffMax,
+			DialBudget:   s.dialBudget,
+		},
+		Logf: s.logf,
 	}
 	if s.adversary != nil {
 		if err := applyAdversary(&cfg, s.adversary, s.seed); err != nil {
@@ -255,6 +267,17 @@ func (n *Node) Peers() []PeerInfo {
 
 // OutboundCount returns the number of live outbound connections.
 func (n *Node) OutboundCount() int { return n.p.OutboundCount() }
+
+// ResilienceStats counts the node's defensive actions: shed accepts,
+// recorded dial failures, injected faults, bans, slow-consumer
+// disconnects, and maintenance redials.
+type ResilienceStats = p2p.ResilienceStats
+
+// Resilience returns a snapshot of the node's defensive-action counters.
+func (n *Node) Resilience() ResilienceStats { return n.p.Resilience() }
+
+// BannedPeers lists the node IDs currently banned for misbehavior.
+func (n *Node) BannedPeers() []uint64 { return n.p.Book().BannedIDs() }
 
 // MineBlock extends the node's tip with a new block carrying the given
 // transaction payloads and announces it to all peers.

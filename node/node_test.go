@@ -241,6 +241,16 @@ func TestOptionValidation(t *testing.T) {
 		// constraint as the default path.
 		{WithScoring(perigee.ScoringSubset), WithExplore(8)},
 		{WithScoring(perigee.ScoringVanilla), WithOutDegree(3), WithExplore(3)},
+		{WithFaults(nil)},
+		{WithAddrBookPath("")},
+		{WithAddrBookCap(0)},
+		{WithBanPolicy(0, time.Minute)},
+		{WithBanPolicy(50, 0)},
+		{WithDialBackoff(0, time.Second, 4)},
+		{WithDialBackoff(time.Second, time.Millisecond, 4)},
+		{WithDialBackoff(time.Second, time.Minute, 0)},
+		{WithIdleTimeout(0)},
+		{WithRedialInterval(-time.Second)},
 		{nil},
 	}
 	for i, opts := range bad {

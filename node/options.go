@@ -39,6 +39,17 @@ type settings struct {
 	handshake time.Duration
 	logf      func(format string, args ...any)
 	adversary perigee.Adversary
+
+	faultPlan    perigee.FaultPlan
+	bookPath     string
+	bookCap      int
+	banThreshold float64
+	banDuration  time.Duration
+	backoffBase  time.Duration
+	backoffMax   time.Duration
+	dialBudget   int
+	idleTimeout  time.Duration
+	redialEvery  time.Duration
 }
 
 func defaultSettings() *settings {
@@ -264,6 +275,119 @@ func WithHandshakeTimeout(d time.Duration) Option {
 			return fmt.Errorf("node: handshake timeout %v must be positive", d)
 		}
 		s.handshake = d
+		return nil
+	}
+}
+
+// WithFaults injects deterministic connection faults from the plan:
+// dials may fail outright, and established connections may be reset,
+// stalled, throttled, or made lossy, exactly as the plan's seeded
+// verdicts dictate — chaos testing for the resilience layer. The same
+// plan with the same seed reproduces the same faults on every run. See
+// perigee.MixedFaults and perigee.FaultPlan. The default injects
+// nothing.
+func WithFaults(plan perigee.FaultPlan) Option {
+	return func(s *settings) error {
+		if plan == nil {
+			return fmt.Errorf("node: nil fault plan")
+		}
+		s.faultPlan = plan
+		return nil
+	}
+}
+
+// WithAddrBookPath persists the address book — addresses, per-address
+// health, and bans — to the given file: loaded when the node is built
+// (a missing file is fine) and saved on Stop, so peer reputation
+// survives restarts. The default keeps the book in memory only.
+func WithAddrBookPath(path string) Option {
+	return func(s *settings) error {
+		if path == "" {
+			return fmt.Errorf("node: empty address book path")
+		}
+		s.bookPath = path
+		return nil
+	}
+}
+
+// WithAddrBookCap bounds the address book (default 1024). At the cap,
+// adding a fresh address evicts the unhealthiest known one — banned
+// first, then most-failed, then least recently seen — so address gossip
+// from any single peer cannot grow the book without limit.
+func WithAddrBookCap(n int) Option {
+	return func(s *settings) error {
+		if n <= 0 {
+			return fmt.Errorf("node: address book cap %d must be positive", n)
+		}
+		s.bookCap = n
+		return nil
+	}
+}
+
+// WithBanPolicy tunes peer banning: a peer whose decayed misbehavior
+// score — fed by protocol violations such as malformed frames, invalid
+// blocks, and handshake abuse — reaches threshold is disconnected and
+// banned for d (defaults: 100 points, 10 minutes). Scores halve every
+// few minutes, so transient faults heal instead of accumulating into a
+// ban.
+func WithBanPolicy(threshold float64, d time.Duration) Option {
+	return func(s *settings) error {
+		if threshold <= 0 {
+			return fmt.Errorf("node: ban threshold %v must be positive", threshold)
+		}
+		if d <= 0 {
+			return fmt.Errorf("node: ban duration %v must be positive", d)
+		}
+		s.banThreshold = threshold
+		s.banDuration = d
+		return nil
+	}
+}
+
+// WithDialBackoff tunes dial retry behavior: after each consecutive
+// failure an address waits an exponentially growing, jittered interval
+// (base doubling up to max) before it is dialable again, and after
+// budget consecutive failures it is evicted from the book entirely
+// (defaults: 500ms base, 2m cap, budget 8).
+func WithDialBackoff(base, max time.Duration, budget int) Option {
+	return func(s *settings) error {
+		if base <= 0 || max < base {
+			return fmt.Errorf("node: dial backoff [%v, %v] must satisfy 0 < base <= max", base, max)
+		}
+		if budget <= 0 {
+			return fmt.Errorf("node: dial failure budget %d must be positive", budget)
+		}
+		s.backoffBase = base
+		s.backoffMax = max
+		s.dialBudget = budget
+		return nil
+	}
+}
+
+// WithIdleTimeout bounds silence on every connection (default 90s):
+// after one idle interval the peer is probed with a ping, and a second
+// silent interval disconnects it — this is what reclaims stalled and
+// half-open connections.
+func WithIdleTimeout(d time.Duration) Option {
+	return func(s *settings) error {
+		if d <= 0 {
+			return fmt.Errorf("node: idle timeout %v must be positive", d)
+		}
+		s.idleTimeout = d
+		return nil
+	}
+}
+
+// WithRedialInterval runs a maintenance loop that redials addresses
+// from the book whenever the outbound degree has fallen below the
+// target — recovery for connections lost to faults between Perigee
+// rounds. The default relies on rounds alone to re-dial.
+func WithRedialInterval(d time.Duration) Option {
+	return func(s *settings) error {
+		if d <= 0 {
+			return fmt.Errorf("node: redial interval %v must be positive", d)
+		}
+		s.redialEvery = d
 		return nil
 	}
 }
