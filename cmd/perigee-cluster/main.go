@@ -41,6 +41,7 @@ func main() {
 		seed       = flag.Uint64("seed", 11, "randomness seed")
 		faults     = flag.Float64("faults", 0, "fraction of dials and connections faulted by a seeded chaos plan (0 disables)")
 		faultSeed  = flag.Uint64("fault-seed", 1, "seed for the fault plan (same seed replays the same faults)")
+		singleSeed = flag.Bool("single-seed", false, "bootstrap from one seed node via addr-gossip discovery instead of full address knowledge")
 		verbose    = flag.Bool("v", false, "per-node logging")
 	)
 	flag.Parse()
@@ -104,6 +105,17 @@ func main() {
 				node.WithRedialInterval(500*time.Millisecond),
 			)
 		}
+		if *singleSeed {
+			// Discovery mode: each node knows only the seed node's address,
+			// so the book must be filled by addr-gossip (refresh GETADDRs,
+			// trickle relay) and connections by the redial loop; feelers
+			// verify the learned rumor in the background.
+			opts = append(opts,
+				node.WithDiscovery(200*time.Millisecond, 2**nodeCount),
+				node.WithFeelerInterval(300*time.Millisecond),
+				node.WithRedialInterval(250*time.Millisecond),
+			)
+		}
 		if *verbose {
 			opts = append(opts, node.WithLogf(logger.Printf))
 		}
@@ -120,26 +132,43 @@ func main() {
 		}
 		defer n.Stop()
 	}
-	// Everyone knows everyone's address (§2.1 assumption).
-	for _, n := range nodes {
-		for _, m := range nodes {
-			if n != m {
-				n.AddAddresses(m.Addr())
+	if *singleSeed {
+		// Each joiner knows exactly one address: the seed node's. The rest
+		// of the bootstrap — learning addresses, filling the out-degree —
+		// is addr-gossip discovery's job.
+		for i, n := range nodes[1:] {
+			n.AddAddresses(nodes[0].Addr())
+			for attempt := 0; ; attempt++ {
+				if err := n.Connect(nodes[0].Addr()); err == nil {
+					break
+				} else if attempt >= 20 {
+					log.Fatalf("node %d cannot reach the seed: %v", i+1, err)
+				}
 			}
 		}
-	}
-	// Random initial topology.
-	topoRand := rand.New(rand.NewPCG(*seed, 0x7065726967656531)) // "perigee1"
-	for i, n := range nodes {
-		for _, j := range topoRand.Perm(*nodeCount) {
-			if n.OutboundCount() >= *outDegree {
-				break
+		waitForDiscovery(nodes, *outDegree, *faults > 0)
+	} else {
+		// Everyone knows everyone's address (§2.1 assumption).
+		for _, n := range nodes {
+			for _, m := range nodes {
+				if n != m {
+					n.AddAddresses(m.Addr())
+				}
 			}
-			if j == i {
-				continue
-			}
-			if err := n.Connect(nodes[j].Addr()); err != nil && *verbose {
-				logger.Printf("initial dial: %v", err)
+		}
+		// Random initial topology.
+		topoRand := rand.New(rand.NewPCG(*seed, 0x7065726967656531)) // "perigee1"
+		for i, n := range nodes {
+			for _, j := range topoRand.Perm(*nodeCount) {
+				if n.OutboundCount() >= *outDegree {
+					break
+				}
+				if j == i {
+					continue
+				}
+				if err := n.Connect(nodes[j].Addr()); err != nil && *verbose {
+					logger.Printf("initial dial: %v", err)
+				}
 			}
 		}
 	}
@@ -226,4 +255,52 @@ func main() {
 			total.FaultedDials, total.FaultedConns, total.DialFailures,
 			total.Redials, total.Bans, total.SlowConsumerDrops, total.AcceptsShed)
 	}
+}
+
+// waitForDiscovery blocks until every node has bootstrapped from the
+// single seed: full degree (counting inbound — the seed itself saturates
+// with accepted joiners) and at least 90% of the other nodes' addresses
+// in its book. A cluster that cannot converge is a fatal error — this is
+// the assertion CI's discovery smoke test relies on.
+func waitForDiscovery(nodes []*node.Node, outDegree int, faulted bool) {
+	start := time.Now()
+	timeout := 30 * time.Second
+	if faulted {
+		timeout = 60 * time.Second
+	}
+	need := ((len(nodes) - 1) * 9) / 10
+	for {
+		converged := 0
+		for _, n := range nodes {
+			if len(n.Peers()) >= outDegree && n.KnownAddresses() >= need {
+				converged++
+			}
+		}
+		if converged == len(nodes) {
+			break
+		}
+		if time.Since(start) > timeout {
+			log.Fatalf("discovery stalled after %v: %d/%d nodes converged", timeout, converged, len(nodes))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	var d node.DiscoveryStats
+	verified := 0
+	for _, n := range nodes {
+		s := n.Discovery()
+		d.SelfAnnounces += s.SelfAnnounces
+		d.AddrsRelayed += s.AddrsRelayed
+		d.RefreshGetAddrs += s.RefreshGetAddrs
+		d.AddrsLearned += s.AddrsLearned
+		d.AddrsInvalid += s.AddrsInvalid
+		d.AddrsStale += s.AddrsStale
+		d.UnsolicitedDropped += s.UnsolicitedDropped
+		d.GetAddrThrottled += s.GetAddrThrottled
+		d.FeelerDials += s.FeelerDials
+		d.FeelerVerified += s.FeelerVerified
+		verified += n.VerifiedAddresses()
+	}
+	fmt.Printf("single-seed bootstrap converged in %v: %d addrs learned, %d relayed, %d refresh getaddrs (%d throttled), %d feeler dials (%d verified, %d book entries dial-verified)\n",
+		time.Since(start).Round(time.Millisecond), d.AddrsLearned, d.AddrsRelayed,
+		d.RefreshGetAddrs, d.GetAddrThrottled, d.FeelerDials, d.FeelerVerified, verified)
 }

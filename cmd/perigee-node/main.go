@@ -38,6 +38,9 @@ func main() {
 		addrBook    = flag.String("addr-book", "", "path for the persistent address book (empty = in-memory only)")
 		redialEvery = flag.Duration("redial", 30*time.Second, "how often to redial toward the out-degree target (0 disables)")
 		idleTimeout = flag.Duration("idle-timeout", 90*time.Second, "silence tolerated on a connection before probing and dropping it")
+		discover    = flag.Duration("discover", 30*time.Second, "how often to request fresh addresses from peers while the book is thin (0 disables)")
+		targetKnown = flag.Int("target-known", 0, "book size at which address refresh goes quiet (0 = default 128)")
+		feelerEvery = flag.Duration("feeler", 2*time.Minute, "how often to dial-verify one gossiped address (0 disables feelers)")
 	)
 	flag.Parse()
 
@@ -72,6 +75,12 @@ func main() {
 	}
 	if *idleTimeout > 0 {
 		opts = append(opts, node.WithIdleTimeout(*idleTimeout))
+	}
+	if *discover > 0 {
+		opts = append(opts, node.WithDiscovery(*discover, *targetKnown))
+	}
+	if *feelerEvery > 0 {
+		opts = append(opts, node.WithFeelerInterval(*feelerEvery))
 	}
 	scoringOpt, err := cliopts.ScoringOption(*scoring, *explore)
 	if err != nil {
@@ -110,8 +119,10 @@ func main() {
 			fmt.Println("\nshutting down")
 			return
 		case <-status.C:
-			logger.Printf("height=%d peers=%d window=%d addrs=%d",
-				n.Height(), len(n.Peers()), n.ObservationWindow(), n.KnownAddresses())
+			d := n.Discovery()
+			logger.Printf("height=%d peers=%d window=%d addrs=%d (verified=%d, learned=%d, feelers=%d)",
+				n.Height(), len(n.Peers()), n.ObservationWindow(), n.KnownAddresses(),
+				n.VerifiedAddresses(), d.AddrsLearned, d.FeelerVerified)
 		}
 	}
 }

@@ -92,6 +92,11 @@ type addrEntry struct {
 	Fails       int       `json:"fails,omitempty"`
 	NextDial    time.Time `json:"next_dial,omitempty"`
 	BanUntil    time.Time `json:"ban_until,omitempty"`
+	// Verified marks an address we have successfully dialed and
+	// handshaked at least once (a "tried" entry in Bitcoin's addrman
+	// terms) as opposed to unconfirmed gossip rumor. Verified entries are
+	// never evicted to make room for rumor.
+	Verified bool `json:"verified,omitempty"`
 }
 
 // idScore tracks one peer identity's decaying misbehavior score.
@@ -150,35 +155,54 @@ func (b *AddrBook) MarkSelf(addrs ...string) {
 // to make room — a single gossiping peer can no longer grow the book
 // without bound.
 func (b *AddrBook) Add(addrs ...string) {
-	now := b.now()
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	for _, a := range addrs {
-		if a == "" || b.self[a] {
-			continue
-		}
-		if e, ok := b.addrs[a]; ok {
-			e.LastSeen = now
-			continue
-		}
-		if len(b.addrs) >= b.cfg.Cap {
-			if !b.evictLocked(now) {
-				continue // everything else is healthier than a newcomer
-			}
-		}
-		b.addrs[a] = &addrEntry{Addr: a, Added: now, LastSeen: now}
+		b.AddSeen(a, 0)
 	}
 }
 
+// AddSeen records one gossiped address together with the sender's claimed
+// age: LastSeen is backdated by age, so a stale rumor enters the book less
+// healthy than a fresh one. Reports whether the address was newly admitted
+// (false for duplicates, self addresses, and rejections at capacity). An
+// unverified newcomer can evict other rumor but never a dial-verified
+// entry — a flood of fabricated addresses cannot push out addresses we
+// know are real.
+func (b *AddrBook) AddSeen(addr string, age time.Duration) bool {
+	now := b.now()
+	seen := now.Add(-age)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if addr == "" || b.self[addr] {
+		return false
+	}
+	if e, ok := b.addrs[addr]; ok {
+		if seen.After(e.LastSeen) {
+			e.LastSeen = seen
+		}
+		return false
+	}
+	if len(b.addrs) >= b.cfg.Cap {
+		if !b.evictLocked(now, false) {
+			return false // everything else is healthier than a newcomer
+		}
+	}
+	b.addrs[addr] = &addrEntry{Addr: addr, Added: now, LastSeen: seen}
+	return true
+}
+
 // evictLocked removes the unhealthiest entry: banned first, then most
-// consecutive failures, then least recently seen. Reports whether a slot
-// was freed.
-func (b *AddrBook) evictLocked(now time.Time) bool {
+// consecutive failures, then least recently seen. Unless includeVerified
+// is set, dial-verified entries are exempt — rumor is only allowed to
+// displace rumor. Reports whether a slot was freed.
+func (b *AddrBook) evictLocked(now time.Time, includeVerified bool) bool {
 	var victim *addrEntry
 	worse := func(e, v *addrEntry) bool {
 		eBanned, vBanned := now.Before(e.BanUntil), now.Before(v.BanUntil)
 		if eBanned != vBanned {
 			return eBanned
+		}
+		if e.Verified != v.Verified {
+			return !e.Verified
 		}
 		if e.Fails != v.Fails {
 			return e.Fails > v.Fails
@@ -186,6 +210,9 @@ func (b *AddrBook) evictLocked(now time.Time) bool {
 		return e.LastSeen.Before(v.LastSeen)
 	}
 	for _, e := range b.addrs {
+		if e.Verified && !includeVerified && !now.Before(e.BanUntil) {
+			continue // verified and not banned: protected from rumor
+		}
 		if victim == nil || worse(e, victim) {
 			victim = e
 		}
@@ -238,6 +265,28 @@ func (b *AddrBook) Dialable() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// EarliestGated returns the unbanned address (not in exclude) whose
+// backoff gate opens soonest — the pool a starved node overrides backoff
+// from when nothing is ordinarily dialable. Ties break on the address so
+// replays agree.
+func (b *AddrBook) EarliestGated(exclude map[string]bool) (string, bool) {
+	now := b.now()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var best string
+	var bestAt time.Time
+	found := false
+	for a, e := range b.addrs {
+		if exclude[a] || now.Before(e.BanUntil) {
+			continue
+		}
+		if !found || e.NextDial.Before(bestAt) || (e.NextDial.Equal(bestAt) && a < best) {
+			best, bestAt, found = a, e.NextDial, true
+		}
+	}
+	return best, found
 }
 
 // Contains reports whether addr is known.
@@ -308,8 +357,10 @@ func (b *AddrBook) Fails(addr string) int {
 }
 
 // DialSucceeded records a completed dial+handshake: the failure count and
-// backoff gate reset, and the address is (re-)added if gossip hadn't
-// delivered it yet.
+// backoff gate reset, the entry is marked dial-verified, and the address
+// is (re-)added if gossip hadn't delivered it yet. A verified newcomer
+// evicts rumor first and only displaces another verified entry when no
+// rumor remains.
 func (b *AddrBook) DialSucceeded(addr string) {
 	if addr == "" {
 		return
@@ -322,7 +373,7 @@ func (b *AddrBook) DialSucceeded(addr string) {
 	}
 	e, ok := b.addrs[addr]
 	if !ok {
-		if len(b.addrs) >= b.cfg.Cap && !b.evictLocked(now) {
+		if len(b.addrs) >= b.cfg.Cap && !b.evictLocked(now, false) && !b.evictLocked(now, true) {
 			return
 		}
 		e = &addrEntry{Addr: addr, Added: now}
@@ -332,6 +383,87 @@ func (b *AddrBook) DialSucceeded(addr string) {
 	e.NextDial = time.Time{}
 	e.LastSeen = now
 	e.LastSuccess = now
+	e.Verified = true
+}
+
+// Verified reports whether addr is known and dial-verified.
+func (b *AddrBook) Verified(addr string) bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	e, ok := b.addrs[addr]
+	return ok && e.Verified
+}
+
+// VerifiedCount returns the number of dial-verified addresses.
+func (b *AddrBook) VerifiedCount() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	n := 0
+	for _, e := range b.addrs {
+		if e.Verified {
+			n++
+		}
+	}
+	return n
+}
+
+// GossipAddr is one address eligible for an ADDR response, with the time
+// elapsed since this node last had evidence of it.
+type GossipAddr struct {
+	Addr string
+	Age  time.Duration
+}
+
+// Gossipable returns the addresses eligible for an ADDR response — every
+// known, non-banned address except those in exclude — with their ages,
+// sorted by address for deterministic iteration. Sampling (shuffling,
+// truncation) is the caller's job; the book only guarantees banned and
+// excluded entries never leak into gossip.
+func (b *AddrBook) Gossipable(exclude ...string) []GossipAddr {
+	now := b.now()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]GossipAddr, 0, len(b.addrs))
+	for a, e := range b.addrs {
+		if now.Before(e.BanUntil) {
+			continue
+		}
+		skip := false
+		for _, x := range exclude {
+			if a == x {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			continue
+		}
+		age := now.Sub(e.LastSeen)
+		if age < 0 {
+			age = 0
+		}
+		out = append(out, GossipAddr{Addr: a, Age: age})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// FeelerCandidates returns the never-verified addresses that are
+// currently dialable (not banned, past backoff), sorted for deterministic
+// iteration — the pool a feeler connection picks from.
+func (b *AddrBook) FeelerCandidates() []string {
+	now := b.now()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]string, 0)
+	for a, e := range b.addrs {
+		if e.Verified || now.Before(e.NextDial) || now.Before(e.BanUntil) {
+			continue
+		}
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // decayedLocked returns the identity's score decayed to now.

@@ -203,3 +203,31 @@ func TestBookGossipFloodBounded(t *testing.T) {
 		t.Fatalf("book grew to %d entries past its cap of 50", b.Len())
 	}
 }
+
+// TestBookEarliestGated: the desperation pool ranks unbanned addresses by
+// how soon their backoff gate opens, skips exclusions and bans, and
+// breaks timestamp ties on the address.
+func TestBookEarliestGated(t *testing.T) {
+	b, c := newClockBook(BookConfig{DialBudget: 8, BackoffBase: time.Second, BackoffMax: time.Hour, BanThreshold: 10})
+	b.Add("deep:1")
+	b.Add("shallow:1")
+	b.Add("banned:1")
+	for i := 0; i < 5; i++ {
+		b.DialFailed("deep:1")
+	}
+	b.DialFailed("shallow:1")
+	b.Misbehave(0xBAD, "banned:1", 100)
+	if got, ok := b.EarliestGated(nil); !ok || got != "shallow:1" {
+		t.Fatalf("earliest gated = %q, %v; want shallow:1", got, ok)
+	}
+	if got, ok := b.EarliestGated(map[string]bool{"shallow:1": true}); !ok || got != "deep:1" {
+		t.Fatalf("earliest gated with exclusion = %q, %v; want deep:1", got, ok)
+	}
+	// Fresh entries share a zero NextDial: the address breaks the tie.
+	b.Add("aa:1")
+	b.Add("ab:1")
+	if got, ok := b.EarliestGated(nil); !ok || got != "aa:1" {
+		t.Fatalf("tie-break = %q, %v; want aa:1", got, ok)
+	}
+	_ = c
+}

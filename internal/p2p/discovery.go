@@ -1,0 +1,432 @@
+package p2p
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/perigee-net/perigee/internal/faults"
+	"github.com/perigee-net/perigee/internal/wire"
+)
+
+// Discovery policy defaults; see DiscoveryConfig.
+const (
+	DefaultTargetKnown       = 128
+	DefaultAnnounceFanout    = 2
+	DefaultGetAddrInterval   = 30 * time.Second
+	DefaultGetAddrBurst      = 4
+	DefaultUnsolicitedBudget = 64
+	DefaultMaxAddrAge        = 3 * time.Hour
+)
+
+// DiscoveryConfig tunes the addr-gossip discovery subsystem. The rate
+// limits and validation always apply — a node cannot opt out of the
+// hardened exchange — while the active loops (periodic GETADDR refresh,
+// feeler dials) run only when their intervals are set.
+type DiscoveryConfig struct {
+	// RefreshInterval, when positive, runs a loop that requests fresh
+	// addresses (GETADDR to a couple of random peers) every interval while
+	// the book holds fewer than TargetKnown addresses. Zero disables the
+	// loop: the node still asks each new peer once at connect.
+	RefreshInterval time.Duration
+	// TargetKnown is the book size at which the refresh loop goes quiet
+	// (default 128).
+	TargetKnown int
+	// FeelerInterval, when positive, runs a loop that picks one
+	// never-verified book entry per interval and cheaply verifies it:
+	// connect, handshake, disconnect, mark dial-verified. Zero disables
+	// feelers.
+	FeelerInterval time.Duration
+	// AnnounceFanout is how many random peers a freshly learned address is
+	// relayed to (Bitcoin-style addr trickle), and bounds the spread rate
+	// of any single address. Default 2.
+	AnnounceFanout int
+	// GetAddrInterval is the per-peer GETADDR service window: at most one
+	// request per peer is answered per interval. Defaults to
+	// RefreshInterval when that is set (so refresh requests are never
+	// starved by the serving side), otherwise 30s.
+	GetAddrInterval time.Duration
+	// GetAddrBurst is how many GETADDRs per window a peer may send before
+	// the excess charges misbehavior points (default 4).
+	GetAddrBurst int
+	// UnsolicitedBudget caps how many unsolicited ADDR entries per
+	// GetAddrInterval window a peer may push into our book (default 64).
+	// Solicited responses (answers to our own GETADDRs) are exempt.
+	UnsolicitedBudget int
+	// MaxAddrAge drops gossiped addresses whose claimed age exceeds it
+	// (default 3h) — stale rumor cannot circulate forever.
+	MaxAddrAge time.Duration
+}
+
+// applyDefaults resolves zero values and rejects out-of-range ones.
+func (d *DiscoveryConfig) applyDefaults() error {
+	if d.RefreshInterval < 0 {
+		return fmt.Errorf("p2p: negative discovery refresh interval %v", d.RefreshInterval)
+	}
+	if d.FeelerInterval < 0 {
+		return fmt.Errorf("p2p: negative feeler interval %v", d.FeelerInterval)
+	}
+	if d.TargetKnown == 0 {
+		d.TargetKnown = DefaultTargetKnown
+	} else if d.TargetKnown < 0 {
+		return fmt.Errorf("p2p: discovery target %d must be positive", d.TargetKnown)
+	}
+	if d.AnnounceFanout == 0 {
+		d.AnnounceFanout = DefaultAnnounceFanout
+	} else if d.AnnounceFanout < 0 {
+		return fmt.Errorf("p2p: announce fanout %d must be positive", d.AnnounceFanout)
+	}
+	if d.GetAddrInterval == 0 {
+		if d.RefreshInterval > 0 && d.RefreshInterval < DefaultGetAddrInterval {
+			d.GetAddrInterval = d.RefreshInterval
+		} else {
+			d.GetAddrInterval = DefaultGetAddrInterval
+		}
+	} else if d.GetAddrInterval < 0 {
+		return fmt.Errorf("p2p: negative getaddr interval %v", d.GetAddrInterval)
+	}
+	if d.GetAddrBurst == 0 {
+		d.GetAddrBurst = DefaultGetAddrBurst
+	} else if d.GetAddrBurst < 0 {
+		return fmt.Errorf("p2p: getaddr burst %d must be positive", d.GetAddrBurst)
+	}
+	if d.UnsolicitedBudget == 0 {
+		d.UnsolicitedBudget = DefaultUnsolicitedBudget
+	} else if d.UnsolicitedBudget < 0 {
+		return fmt.Errorf("p2p: unsolicited addr budget %d must be positive", d.UnsolicitedBudget)
+	}
+	if d.MaxAddrAge == 0 {
+		d.MaxAddrAge = DefaultMaxAddrAge
+	} else if d.MaxAddrAge < 0 {
+		return fmt.Errorf("p2p: negative max addr age %v", d.MaxAddrAge)
+	}
+	return nil
+}
+
+// DiscoveryStats counts the node's addr-gossip activity since start.
+type DiscoveryStats struct {
+	// SelfAnnounces is how many peers we announced our listen address to.
+	SelfAnnounces int
+	// AddrsRelayed is the number of freshly learned addresses trickled
+	// onward to other peers (one count per peer reached).
+	AddrsRelayed int
+	// RefreshGetAddrs is the number of GETADDRs sent by the refresh loop.
+	RefreshGetAddrs int
+	// AddrsLearned is the number of addresses newly admitted to the book
+	// from gossip.
+	AddrsLearned int
+	// AddrsInvalid is the number of gossiped addresses rejected by
+	// syntactic validation.
+	AddrsInvalid int
+	// AddrsStale is the number of gossiped addresses dropped for claiming
+	// an age beyond MaxAddrAge.
+	AddrsStale int
+	// UnsolicitedDropped is the number of unsolicited ADDR entries dropped
+	// by the per-peer budget.
+	UnsolicitedDropped int
+	// GetAddrThrottled is the number of GETADDR requests not answered
+	// because the per-peer window was already served.
+	GetAddrThrottled int
+	// FeelerDials is the number of feeler verification dials attempted.
+	FeelerDials int
+	// FeelerVerified is the number of book entries promoted to
+	// dial-verified by a feeler.
+	FeelerVerified int
+}
+
+// Discovery returns a snapshot of the node's addr-gossip counters.
+func (n *Node) Discovery() DiscoveryStats {
+	n.discMu.Lock()
+	defer n.discMu.Unlock()
+	return n.disc
+}
+
+// countDisc applies one mutation to the discovery counters under the lock.
+func (n *Node) countDisc(f func(*DiscoveryStats)) {
+	n.discMu.Lock()
+	f(&n.disc)
+	n.discMu.Unlock()
+}
+
+// ageSecOf clamps a book age to the wire's uint32 seconds field.
+func ageSecOf(age time.Duration) uint32 {
+	s := int64(age / time.Second)
+	if s < 0 {
+		return 0
+	}
+	if s > int64(^uint32(0)) {
+		return ^uint32(0)
+	}
+	return uint32(s)
+}
+
+// handleGetAddr answers a peer's address request with a seeded random
+// sample of the book — never the sorted prefix, never banned entries,
+// never the requester's own address — at most once per rate-limit window.
+// Requests past the burst budget charge misbehavior points.
+func (n *Node) handleGetAddr(p *peer) {
+	d := &n.cfg.Discovery
+	serve, abusive := p.admitGetAddr(time.Now(), d.GetAddrInterval, d.GetAddrBurst)
+	if abusive {
+		n.countDisc(func(s *DiscoveryStats) { s.GetAddrThrottled++ })
+		n.logf("getaddr spam from %s", p)
+		n.misbehave(p, pointsAddrSpam)
+		return
+	}
+	if !serve {
+		n.countDisc(func(s *DiscoveryStats) { s.GetAddrThrottled++ })
+		return
+	}
+	pool := n.book.Gossipable(n.Addr(), p.listenAddr)
+	if len(pool) == 0 {
+		return
+	}
+	// Deterministic per-(peer, response) sample: the stream depends only
+	// on the node seed, the requester identity, and how many responses
+	// this peer has been served — so a replay with the same seed samples
+	// identically, while consecutive requests draw fresh samples.
+	r := n.addrRand.DeriveIndexed(fmt.Sprintf("getaddr-%016x", p.id), p.nextAddrResponse())
+	r.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	if len(pool) > wire.MaxAddrs {
+		pool = pool[:wire.MaxAddrs]
+	}
+	out := make([]wire.NetAddr, len(pool))
+	for i, g := range pool {
+		out[i] = wire.NetAddr{Addr: g.Addr, AgeSec: ageSecOf(g.Age)}
+	}
+	p.send(&wire.Addr{Addrs: out})
+}
+
+// handleAddr ingests a peer's ADDR message: unsolicited volume is
+// budgeted, every entry is syntactically validated, stale claims are
+// dropped, and newly admitted addresses trickle onward to a few random
+// peers so one announcement diffuses through the network.
+func (n *Node) handleAddr(p *peer, msg *wire.Addr) {
+	d := &n.cfg.Discovery
+	entries := msg.Addrs
+	covered := p.consumeSolicited(len(entries))
+	if uncovered := len(entries) - covered; uncovered > 0 {
+		allowed := p.admitUnsolicited(time.Now(), d.GetAddrInterval, d.UnsolicitedBudget, uncovered)
+		if dropped := uncovered - allowed; dropped > 0 {
+			n.countDisc(func(s *DiscoveryStats) { s.UnsolicitedDropped += dropped })
+			if covered+allowed == 0 {
+				n.logf("addr flood from %s: %d entries over budget", p, dropped)
+				n.misbehave(p, pointsAddrSpam)
+				return
+			}
+			entries = entries[:covered+allowed]
+		}
+	}
+	var fresh []wire.NetAddr
+	var invalid, stale, learned int
+	for _, na := range entries {
+		if wire.ValidateAddr(na.Addr) != nil {
+			invalid++
+			continue
+		}
+		age := time.Duration(na.AgeSec) * time.Second
+		if age > d.MaxAddrAge {
+			stale++
+			continue
+		}
+		if n.book.AddSeen(na.Addr, age) {
+			learned++
+			fresh = append(fresh, na)
+		}
+	}
+	if invalid > 0 || stale > 0 || learned > 0 {
+		n.countDisc(func(s *DiscoveryStats) {
+			s.AddrsInvalid += invalid
+			s.AddrsStale += stale
+			s.AddrsLearned += learned
+		})
+	}
+	if invalid > 0 {
+		n.logf("%d invalid addrs from %s", invalid, p)
+		n.misbehave(p, pointsInvalidAddr)
+	}
+	if len(fresh) > 0 {
+		n.trickleAddrs(p.id, fresh)
+	}
+}
+
+// trickleAddrs relays freshly learned addresses to AnnounceFanout random
+// peers each (excluding the peer they came from and any peer that is the
+// address itself), so an announcement spreads a few hops per exchange
+// instead of flooding everyone.
+func (n *Node) trickleAddrs(fromID uint64, addrs []wire.NetAddr) {
+	fanout := n.cfg.Discovery.AnnounceFanout
+	if fanout <= 0 {
+		return
+	}
+	peers := n.peerSnapshot()
+	relayed := 0
+	for _, na := range addrs {
+		targets := make([]*peer, 0, len(peers))
+		for _, q := range peers {
+			if q.id == fromID || q.listenAddr == na.Addr {
+				continue
+			}
+			targets = append(targets, q)
+		}
+		if len(targets) == 0 {
+			continue
+		}
+		// Stateless per-address stream: the same address trickles to the
+		// same peers on a same-seed replay.
+		perm := n.addrRand.Derive("trickle-" + na.Addr).Perm(len(targets))
+		k := fanout
+		if k > len(perm) {
+			k = len(perm)
+		}
+		for _, ti := range perm[:k] {
+			if targets[ti].send(&wire.Addr{Addrs: []wire.NetAddr{na}}) {
+				relayed++
+			}
+		}
+	}
+	if relayed > 0 {
+		n.countDisc(func(s *DiscoveryStats) { s.AddrsRelayed += relayed })
+	}
+}
+
+// announceSelf advertises our own listen address to a freshly connected
+// peer — the missing half of bootstrap: without it a single-seed network
+// only ever learns the seed's address.
+func (n *Node) announceSelf(p *peer) {
+	self := n.Addr()
+	if self == "" || self == p.listenAddr {
+		return
+	}
+	if p.send(&wire.Addr{Addrs: []wire.NetAddr{{Addr: self, AgeSec: 0}}}) {
+		n.countDisc(func(s *DiscoveryStats) { s.SelfAnnounces++ })
+	}
+}
+
+// refreshLoop periodically requests addresses from a couple of random
+// peers while the book is below the target size.
+func (n *Node) refreshLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.cfg.Discovery.RefreshInterval)
+	defer ticker.Stop()
+	for tick := 0; ; tick++ {
+		select {
+		case <-n.quit:
+			return
+		case <-ticker.C:
+			n.refreshOnce(tick)
+		}
+	}
+}
+
+// refreshOnce sends GETADDR to up to two seeded-random peers when the
+// book is thin.
+func (n *Node) refreshOnce(tick int) {
+	if n.book.Len() >= n.cfg.Discovery.TargetKnown {
+		return
+	}
+	peers := n.peerSnapshot()
+	if len(peers) == 0 {
+		return
+	}
+	perm := n.addrRand.DeriveIndexed("refresh", tick).Perm(len(peers))
+	k := 2
+	if k > len(perm) {
+		k = len(perm)
+	}
+	for _, pi := range perm[:k] {
+		p := peers[pi]
+		p.noteGetAddrSent()
+		if p.send(&wire.GetAddr{}) {
+			n.countDisc(func(s *DiscoveryStats) { s.RefreshGetAddrs++ })
+		}
+	}
+}
+
+// feelerLoop cheaply verifies rumor: each interval it dials one
+// never-verified book entry, handshakes, disconnects, and marks the entry
+// dial-verified — so the book's verified tier grows beyond the peers we
+// happen to be connected to, and fabricated addresses are found out.
+func (n *Node) feelerLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.cfg.Discovery.FeelerInterval)
+	defer ticker.Stop()
+	for tick := 0; ; tick++ {
+		select {
+		case <-n.quit:
+			return
+		case <-ticker.C:
+			n.feelerOnce(tick)
+		}
+	}
+}
+
+// feelerOnce picks one seeded-random unverified candidate and verifies it.
+func (n *Node) feelerOnce(tick int) {
+	exclude := map[string]bool{n.Addr(): true}
+	for _, p := range n.peerSnapshot() {
+		if p.listenAddr != "" {
+			exclude[p.listenAddr] = true
+		}
+	}
+	all := n.book.FeelerCandidates()
+	candidates := all[:0]
+	for _, a := range all {
+		if !exclude[a] {
+			candidates = append(candidates, a)
+		}
+	}
+	if len(candidates) == 0 {
+		return
+	}
+	addr := candidates[n.addrRand.DeriveIndexed("feeler", tick).IntN(len(candidates))]
+	n.feelerDial(addr)
+}
+
+// feelerDial verifies one address: dial, handshake, disconnect. Success
+// marks the book entry dial-verified; failure feeds the same backoff and
+// eviction budget as a real dial. Fault injection applies exactly as it
+// does to Connect, so chaos runs exercise feelers too.
+func (n *Node) feelerDial(addr string) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Unlock()
+	n.countDisc(func(s *DiscoveryStats) { s.FeelerDials++ })
+	if n.cfg.Faults != nil {
+		attempt := n.nextDialAttempt(addr)
+		if v := n.cfg.Faults.Dial(n.cfg.NodeID, addr, attempt); v.Kind == faults.DialFail {
+			n.dialFailed(addr)
+			n.countRes(func(r *ResilienceStats) { r.FaultedDials++ })
+			return
+		}
+	}
+	conn, err := net.DialTimeout("tcp", addr, n.cfg.HandshakeTimeout)
+	if err != nil {
+		n.dialFailed(addr)
+		return
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(n.cfg.HandshakeTimeout))
+	local := &wire.Version{
+		Protocol:   wire.ProtocolVersion,
+		NodeID:     n.cfg.NodeID,
+		ListenAddr: n.Addr(),
+		Nonce:      n.randUint64(),
+	}
+	remote, err := handshakeDance(conn, local, true)
+	if err != nil {
+		n.dialFailed(addr)
+		return
+	}
+	if remote.NodeID == n.cfg.NodeID {
+		// We dialed ourselves through a gossiped alias: never again.
+		n.book.MarkSelf(addr)
+		return
+	}
+	n.book.DialSucceeded(addr)
+	n.countDisc(func(s *DiscoveryStats) { s.FeelerVerified++ })
+	n.logf("feeler verified %s (%016x)", addr, remote.NodeID)
+}

@@ -106,6 +106,16 @@ type Config struct {
 	// below OutDegree — recovery between Perigee rounds. Zero disables
 	// the loop (rounds still re-dial).
 	RedialInterval time.Duration
+	// Discovery tunes addr-gossip: the always-on hardening (validation,
+	// GETADDR rate limits, unsolicited budgets, seeded response sampling)
+	// and the optional active loops (refresh, feelers).
+	Discovery DiscoveryConfig
+	// ObservationCap bounds the block-observation structures (order,
+	// firstSeen, requested) independently of Perigee rounds, so a node
+	// that never rounds (RoundBlocks 0, no PerigeeRound calls) cannot
+	// grow them without bound. The effective cap is never below
+	// RoundBlocks. Default 4096.
+	ObservationCap int
 	// DrainTimeout bounds the graceful flush of peer send queues during
 	// Stop (default 1s).
 	DrainTimeout time.Duration
@@ -173,7 +183,15 @@ func (c *Config) applyDefaults() error {
 	if c.RedialInterval < 0 {
 		return fmt.Errorf("p2p: negative redial interval %v", c.RedialInterval)
 	}
-	return nil
+	if c.ObservationCap == 0 {
+		c.ObservationCap = 4096
+	} else if c.ObservationCap < 0 {
+		return fmt.Errorf("p2p: observation cap %d must be positive", c.ObservationCap)
+	}
+	if c.ObservationCap < c.RoundBlocks {
+		c.ObservationCap = c.RoundBlocks
+	}
+	return c.Discovery.applyDefaults()
 }
 
 // Node is a live Perigee peer: it gossips blocks over TCP and periodically
@@ -186,6 +204,10 @@ type Node struct {
 	selector core.Selector
 	// selRand roots the per-round streams handed to the selector.
 	selRand *rng.RNG
+	// addrRand roots the discovery decision streams (ADDR samples,
+	// trickle targets, feeler picks). It is only ever Derived from —
+	// derivation is stateless — so no lock guards it.
+	addrRand *rng.RNG
 
 	mu       sync.Mutex
 	peers    map[uint64]*peer
@@ -211,6 +233,9 @@ type Node struct {
 
 	resMu sync.Mutex
 	res   ResilienceStats
+
+	discMu sync.Mutex
+	disc   DiscoveryStats
 
 	wg sync.WaitGroup
 }
@@ -240,6 +265,10 @@ type ResilienceStats struct {
 	// Redials is the number of connections re-established by the
 	// maintenance loop.
 	Redials int
+	// DesperationDials is the number of dials made past an address's
+	// backoff gate because the node was starved below half its
+	// out-degree with nothing ordinarily dialable.
+	DesperationDials int
 }
 
 // Resilience returns a snapshot of the node's defensive-action counters.
@@ -302,6 +331,7 @@ func NewNode(cfg Config) (*Node, error) {
 		rand:         r,
 		selector:     selector,
 		selRand:      rng.New(cfg.Seed).Derive("p2p-selector"),
+		addrRand:     rng.New(cfg.Seed).Derive("p2p-addr-gossip"),
 		peers:        make(map[uint64]*peer),
 		quit:         make(chan struct{}),
 		firstSeen:    make(map[chain.Hash]map[uint64]time.Time),
@@ -359,6 +389,29 @@ func (n *Node) Start() error {
 		n.mu.Unlock()
 		go n.maintainLoop()
 	}
+	// Discovery loops: refresh keeps the book fed, feelers verify rumor.
+	// Either runs regardless of Frozen — they shape the address book, not
+	// the neighbor set.
+	if n.cfg.Discovery.RefreshInterval > 0 {
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			return ErrStopped
+		}
+		n.wg.Add(1)
+		n.mu.Unlock()
+		go n.refreshLoop()
+	}
+	if n.cfg.Discovery.FeelerInterval > 0 {
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			return ErrStopped
+		}
+		n.wg.Add(1)
+		n.mu.Unlock()
+		go n.feelerLoop()
+	}
 	return nil
 }
 
@@ -405,6 +458,23 @@ func (n *Node) redialToTarget() {
 		}
 		n.countRes(func(r *ResilienceStats) { r.Redials++ })
 		need--
+	}
+	// Starved below quorum with every known address inside its backoff
+	// gate: override the gate for the entry closest to dialable rather
+	// than sit disconnected. Backoff protects remote peers from a healthy
+	// node's retries, not a node cut off from the network; one override
+	// per maintenance tick bounds the hammer rate.
+	if need > 0 && n.OutboundCount() < (n.cfg.OutDegree+1)/2 {
+		if addr, ok := n.book.EarliestGated(exclude); ok {
+			if err := n.Connect(addr); err != nil {
+				n.logf("desperation dial %s: %v", addr, err)
+				return
+			}
+			n.countRes(func(r *ResilienceStats) {
+				r.Redials++
+				r.DesperationDials++
+			})
+		}
 	}
 }
 
@@ -592,6 +662,12 @@ func (n *Node) setupPeer(conn net.Conn, dir Direction, dialedAddr string) error 
 		delay = n.cfg.PeerDelay(remote.NodeID)
 	}
 	listenAddr := remote.ListenAddr
+	if listenAddr != "" && wire.ValidateAddr(listenAddr) != nil {
+		// A syntactically bogus advertised address must not enter the
+		// book or the gossip stream; treat the peer as non-listening.
+		n.logf("ignoring invalid listen addr %q from %016x", listenAddr, remote.NodeID)
+		listenAddr = ""
+	}
 	if listenAddr == "" && dir == Outbound {
 		listenAddr = dialedAddr
 	}
@@ -618,7 +694,13 @@ func (n *Node) setupPeer(conn net.Conn, dir Direction, dialedAddr string) error 
 	n.peers[p.id] = p
 	n.mu.Unlock()
 	if listenAddr != "" {
-		n.book.Add(listenAddr)
+		// A first sighting of the peer's advertised address is gossip like
+		// any other: admit it and trickle it onward, so a joiner's address
+		// starts diffusing the moment it connects.
+		if n.book.AddSeen(listenAddr, 0) {
+			n.countDisc(func(s *DiscoveryStats) { s.AddrsLearned++ })
+			n.trickleAddrs(p.id, []wire.NetAddr{{Addr: listenAddr, AgeSec: 0}})
+		}
 	}
 	n.logf("connected %s via %s", p, conn.RemoteAddr())
 
@@ -631,7 +713,10 @@ func (n *Node) setupPeer(conn net.Conn, dir Direction, dialedAddr string) error 
 		defer n.wg.Done()
 		n.readLoop(p)
 	}()
-	// Seed discovery and sync: ask for addresses and announce our tip.
+	// Seed discovery and sync: announce our own listen address, ask for
+	// an address sample, and announce our tip.
+	n.announceSelf(p)
+	p.noteGetAddrSent()
 	p.send(&wire.GetAddr{})
 	if tip := n.store.Tip(); tip.Header.Height > 0 {
 		p.send(&wire.Inv{Hashes: []chain.Hash{tip.Header.Hash()}})
@@ -709,6 +794,12 @@ const (
 	// pointsHandshakeAbuse is charged for a Version/Verack after the
 	// handshake completed.
 	pointsHandshakeAbuse = 30
+	// pointsAddrSpam is charged for GETADDRs past the burst budget and
+	// for unsolicited ADDR floods past the per-peer allowance.
+	pointsAddrSpam = 10
+	// pointsInvalidAddr is charged for an ADDR message carrying
+	// syntactically invalid addresses.
+	pointsInvalidAddr = 10
 )
 
 // readLoop dispatches messages from one peer until the connection dies.
@@ -728,6 +819,11 @@ func (n *Node) readLoop(p *peer) {
 			if errors.Is(err, os.ErrDeadlineExceeded) && !probed {
 				probed = true
 				p.send(&wire.Ping{Nonce: n.randUint64()})
+				// A silent interval also means no block is in flight from
+				// this peer: retry any fetch whose GETDATA was lost (e.g.
+				// to an injected message drop) and whose announcers have
+				// all moved on.
+				n.rerequestStale(p)
 				continue
 			}
 			if pts := wire.ViolationPoints(err); pts > 0 {
@@ -749,7 +845,7 @@ func (n *Node) readLoop(p *peer) {
 		case *wire.Block:
 			n.handleBlock(p, msg.Block)
 		case *wire.Addr:
-			n.book.Add(msg.Addrs...)
+			n.handleAddr(p, msg)
 		case *wire.GetAddr:
 			n.handleGetAddr(p)
 		default:
@@ -792,10 +888,105 @@ func (n *Node) recordSeen(peerID uint64, h chain.Hash, at time.Time) {
 	if _, seen := m[peerID]; !seen {
 		m[peerID] = at
 	}
+	n.boundObservationsLocked()
+}
+
+// boundObservationsLocked trims the observation structures to the
+// configured cap — rounds reset them wholesale, but a node that never
+// rounds (a client-only observer) must not grow them without bound.
+// Callers hold obsMu.
+func (n *Node) boundObservationsLocked() {
+	cap := n.cfg.ObservationCap
+	// Accepted blocks: keep the newest cap entries of the window; the
+	// timestamps of trimmed blocks can no longer feed a round, so their
+	// firstSeen maps go too.
+	if len(n.order) > cap {
+		drop := n.order[:len(n.order)-cap]
+		for _, h := range drop {
+			delete(n.firstSeen, h)
+		}
+		n.order = append(n.order[:0], n.order[len(n.order)-cap:]...)
+	}
+	// Rumor-only entries (announced, never accepted — e.g. fabricated
+	// hashes from a flooding peer) have no order entry to age out with;
+	// bound the map as a whole and discard the oldest rumor first.
+	if len(n.firstSeen) > 2*cap {
+		inWindow := make(map[chain.Hash]bool, len(n.order))
+		for _, h := range n.order {
+			inWindow[h] = true
+		}
+		type aged struct {
+			h  chain.Hash
+			at time.Time
+		}
+		rumors := make([]aged, 0, len(n.firstSeen))
+		for h, seen := range n.firstSeen {
+			if inWindow[h] {
+				continue
+			}
+			oldest := time.Time{}
+			for _, at := range seen {
+				if oldest.IsZero() || at.Before(oldest) {
+					oldest = at
+				}
+			}
+			rumors = append(rumors, aged{h, oldest})
+		}
+		sort.Slice(rumors, func(i, j int) bool {
+			if !rumors[i].at.Equal(rumors[j].at) {
+				return rumors[i].at.Before(rumors[j].at)
+			}
+			return string(rumors[i].h[:]) < string(rumors[j].h[:])
+		})
+		for _, r := range rumors {
+			if len(n.firstSeen) <= 2*cap {
+				break
+			}
+			delete(n.firstSeen, r.h)
+		}
+	}
+	// In-flight request dedup: prune oldest-first down to three quarters
+	// of the cap when over it — entries past the re-request window are
+	// dead weight anyway. Ties (hashes from one INV share a timestamp)
+	// break on the hash so the prune always reaches its target.
+	if len(n.requested) > cap {
+		type pending struct {
+			h  chain.Hash
+			at time.Time
+		}
+		all := make([]pending, 0, len(n.requested))
+		for h, at := range n.requested {
+			all = append(all, pending{h, at})
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if !all[i].at.Equal(all[j].at) {
+				return all[i].at.Before(all[j].at)
+			}
+			return string(all[i].h[:]) < string(all[j].h[:])
+		})
+		for _, p := range all[:len(all)-3*cap/4] {
+			delete(n.requested, p.h)
+		}
+	}
+}
+
+// reRequestAfter is how long a GETDATA may go unanswered before its block
+// becomes eligible for another fetch. Nodes tuned for fast idle probing
+// (a short ReadIdleTimeout) retry lost fetches on that same cadence;
+// otherwise a single dropped request parks a block for the full default
+// window even though the probe that would carry the retry fires much
+// sooner.
+func (n *Node) reRequestAfter() time.Duration {
+	const def = 2 * time.Second
+	if t := n.cfg.ReadIdleTimeout; t > 0 && t < def {
+		return t
+	}
+	return def
 }
 
 func (n *Node) handleInv(p *peer, inv *wire.Inv) {
 	now := time.Now()
+	window := n.reRequestAfter()
 	var want []chain.Hash
 	for _, h := range inv.Hashes {
 		n.recordSeen(p.id, h, now)
@@ -804,7 +995,7 @@ func (n *Node) handleInv(p *peer, inv *wire.Inv) {
 		}
 		n.obsMu.Lock()
 		last, asked := n.requested[h]
-		if !asked || now.Sub(last) > 2*time.Second {
+		if !asked || now.Sub(last) > window {
 			n.requested[h] = now
 			want = append(want, h)
 		}
@@ -815,21 +1006,36 @@ func (n *Node) handleInv(p *peer, inv *wire.Inv) {
 	}
 }
 
+// rerequestStale re-sends GETDATA to p for blocks requested over the
+// re-request window ago and still missing — the recovery path for fetch
+// requests lost in transit, without which a single dropped GETDATA loses
+// a block until an unrelated announcement revives it.
+func (n *Node) rerequestStale(p *peer) {
+	now := time.Now()
+	window := n.reRequestAfter()
+	var want []chain.Hash
+	n.obsMu.Lock()
+	for h, at := range n.requested {
+		if now.Sub(at) <= window || n.store.Has(h) {
+			continue
+		}
+		n.requested[h] = now
+		want = append(want, h)
+		if len(want) == wire.MaxInvHashes {
+			break
+		}
+	}
+	n.obsMu.Unlock()
+	if len(want) > 0 {
+		p.send(&wire.GetData{Hashes: want})
+	}
+}
+
 func (n *Node) handleGetData(p *peer, gd *wire.GetData) {
 	for _, h := range gd.Hashes {
 		if b := n.store.Get(h); b != nil {
 			p.send(&wire.Block{Block: b})
 		}
-	}
-}
-
-func (n *Node) handleGetAddr(p *peer) {
-	addrs := n.book.All()
-	if len(addrs) > wire.MaxAddrs {
-		addrs = addrs[:wire.MaxAddrs]
-	}
-	if len(addrs) > 0 {
-		p.send(&wire.Addr{Addrs: addrs})
 	}
 }
 
@@ -877,6 +1083,8 @@ func (n *Node) acceptBlock(from *peer, b *chain.Block, mined bool) {
 	n.order = append(n.order, h)
 	pending := n.orphans[h]
 	delete(n.orphans, h)
+	delete(n.requested, h) // fetched: stop tracking for re-request
+	n.boundObservationsLocked()
 	n.obsMu.Unlock()
 
 	// Relay to everyone except the sender (they have it), applying any

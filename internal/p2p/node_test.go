@@ -403,3 +403,31 @@ func TestNonListeningNode(t *testing.T) {
 		return n.Store().Has(blk.Header.Hash())
 	})
 }
+
+// TestResilienceDesperationDial: a node starved below half its out-degree
+// whose every known address sits inside a deep backoff gate must override
+// the gate rather than wait it out — backoff protects remote peers from a
+// healthy node's retries, not a node cut off from the network.
+func TestResilienceDesperationDial(t *testing.T) {
+	a := startNode(t, 8100, nil)
+	b := startNode(t, 8101, func(c *Config) {
+		c.OutDegree = 2
+		c.Explore = 1
+		c.RedialInterval = 25 * time.Millisecond
+	})
+	b.book.Add(a.Addr())
+	// Five consecutive failures push the gate out ~8s (2^4 s nominal,
+	// jittered) — far past this test's horizon without the override.
+	for i := 0; i < 5; i++ {
+		b.book.DialFailed(a.Addr())
+	}
+	if gate := b.book.NextDialIn(a.Addr()); gate < 3*time.Second {
+		t.Fatalf("backoff gate only %v out, test needs a deep gate", gate)
+	}
+	waitFor(t, "desperation reconnect", 3*time.Second, func() bool {
+		return b.OutboundCount() >= 1
+	})
+	if got := b.Resilience().DesperationDials; got < 1 {
+		t.Fatalf("DesperationDials = %d, want >= 1", got)
+	}
+}

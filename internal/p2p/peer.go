@@ -53,10 +53,103 @@ type peer struct {
 	sent      int // messages offered to the queue (feeds dropNth)
 	fullDrops int // consecutive messages lost to a full queue
 
+	// discMu guards the discovery rate-limit state below.
+	discMu sync.Mutex
+	// awaitingAddr banks the ADDR entries this peer may still send us as
+	// solicited responses (wire.MaxAddrs per outstanding GETADDR);
+	// entries covered by the bank bypass the unsolicited budget.
+	awaitingAddr int
+	// getAddrWindow/getAddrCount throttle the peer's GETADDR requests:
+	// one answered per window, misbehavior past the burst budget.
+	getAddrWindow time.Time
+	getAddrCount  int
+	// addrWindow/addrCount budget the peer's unsolicited ADDR volume.
+	addrWindow time.Time
+	addrCount  int
+	// addrResponses indexes the per-peer ADDR-sample derivation stream, so
+	// consecutive responses to the same peer draw distinct samples while a
+	// replay with the same seed draws identical ones.
+	addrResponses int
+
 	sendCh chan wire.Message
 	done   chan struct{}
 
 	closeOnce sync.Once
+}
+
+// maxAwaitingAddr caps (in GETADDR-responses' worth of entries) the
+// solicited credit a peer can bank, so our own GETADDR retries cannot be
+// farmed into an unlimited unsolicited allowance.
+const maxAwaitingAddr = 4
+
+// noteGetAddrSent records that we asked this peer for addresses and owe
+// it one un-budgeted response's worth of ADDR entries.
+func (p *peer) noteGetAddrSent() {
+	p.discMu.Lock()
+	p.awaitingAddr += wire.MaxAddrs
+	if p.awaitingAddr > maxAwaitingAddr*wire.MaxAddrs {
+		p.awaitingAddr = maxAwaitingAddr * wire.MaxAddrs
+	}
+	p.discMu.Unlock()
+}
+
+// consumeSolicited redeems up to n entries of outstanding GETADDR credit,
+// returning how many are covered. Entry-based (rather than per-message)
+// accounting keeps an interleaved self-announce from burning the credit a
+// full-size response needs.
+func (p *peer) consumeSolicited(n int) int {
+	p.discMu.Lock()
+	defer p.discMu.Unlock()
+	take := n
+	if take > p.awaitingAddr {
+		take = p.awaitingAddr
+	}
+	p.awaitingAddr -= take
+	return take
+}
+
+// admitGetAddr applies the per-peer GETADDR rate limit: within each
+// window only the first request is served, and requests past the burst
+// budget are abusive (the caller charges misbehavior).
+func (p *peer) admitGetAddr(now time.Time, window time.Duration, burst int) (serve, abusive bool) {
+	p.discMu.Lock()
+	defer p.discMu.Unlock()
+	if p.getAddrWindow.IsZero() || now.Sub(p.getAddrWindow) >= window {
+		p.getAddrWindow = now
+		p.getAddrCount = 0
+	}
+	p.getAddrCount++
+	return p.getAddrCount == 1, p.getAddrCount > burst
+}
+
+// admitUnsolicited spends n addresses against the peer's per-window
+// unsolicited budget, returning how many may be processed.
+func (p *peer) admitUnsolicited(now time.Time, window time.Duration, budget, n int) (allowed int) {
+	p.discMu.Lock()
+	defer p.discMu.Unlock()
+	if p.addrWindow.IsZero() || now.Sub(p.addrWindow) >= window {
+		p.addrWindow = now
+		p.addrCount = 0
+	}
+	allowed = budget - p.addrCount
+	if allowed < 0 {
+		allowed = 0
+	}
+	if allowed > n {
+		allowed = n
+	}
+	p.addrCount += allowed
+	return allowed
+}
+
+// nextAddrResponse returns the 0-based index of the next ADDR sample
+// served to this peer.
+func (p *peer) nextAddrResponse() int {
+	p.discMu.Lock()
+	defer p.discMu.Unlock()
+	i := p.addrResponses
+	p.addrResponses++
+	return i
 }
 
 const peerSendBuffer = 128

@@ -1,0 +1,87 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+)
+
+// NetAddr is one gossiped address plus its freshness metadata. AgeSec is
+// the sender's claim of how many seconds have passed since it last had
+// evidence of the address (a successful dial, a handshake, or a fresh
+// gossip hop). Receivers use the age to prefer fresh addresses, discount
+// stale rumor, and bound how long an address can circulate: unlike a raw
+// string, a NetAddr cannot be replayed forever without its age growing.
+type NetAddr struct {
+	// Addr is the "host:port" accepting address.
+	Addr string
+	// AgeSec is the seconds elapsed since the sender last confirmed the
+	// address. Zero means "fresh" (e.g. a node announcing itself).
+	AgeSec uint32
+}
+
+// Validation errors for gossiped addresses.
+var (
+	// ErrBadAddr indicates a syntactically invalid gossiped address.
+	ErrBadAddr = fmt.Errorf("wire: invalid address")
+)
+
+// ValidateAddr checks that s is a syntactically plausible "host:port"
+// listening address: a parseable host:port split, a numeric port in
+// [1, 65535], and a host that is either an IP literal or a DNS-shaped
+// hostname. It rejects empty hosts, port zero, and strings above
+// MaxAddrLen before any of them can enter an address book or be redialed.
+// The check is purely syntactic — no resolution or reachability probing.
+func ValidateAddr(s string) error {
+	if s == "" {
+		return fmt.Errorf("%w: empty", ErrBadAddr)
+	}
+	if len(s) > MaxAddrLen {
+		return fmt.Errorf("%w: %d bytes", ErrBadAddr, len(s))
+	}
+	host, port, err := net.SplitHostPort(s)
+	if err != nil {
+		return fmt.Errorf("%w: %q", ErrBadAddr, s)
+	}
+	p, err := strconv.Atoi(port)
+	if err != nil || p < 1 || p > 65535 {
+		return fmt.Errorf("%w: port %q", ErrBadAddr, port)
+	}
+	if host == "" {
+		return fmt.Errorf("%w: empty host in %q", ErrBadAddr, s)
+	}
+	if net.ParseIP(host) != nil {
+		return nil
+	}
+	if !validHostname(host) {
+		return fmt.Errorf("%w: host %q", ErrBadAddr, host)
+	}
+	return nil
+}
+
+// validHostname applies the DNS label shape: dot-separated labels of
+// [a-zA-Z0-9-], 1-63 bytes each, not starting or ending with a hyphen,
+// 253 bytes total.
+func validHostname(host string) bool {
+	if len(host) > 253 {
+		return false
+	}
+	label := 0
+	for i := 0; i <= len(host); i++ {
+		if i == len(host) || host[i] == '.' {
+			n := i - label
+			if n < 1 || n > 63 || host[label] == '-' || host[i-1] == '-' {
+				return false
+			}
+			label = i + 1
+			continue
+		}
+		c := host[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}

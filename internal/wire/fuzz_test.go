@@ -23,7 +23,7 @@ func fuzzSeedMessages() []Message {
 		&Inv{Hashes: []chain.Hash{genesis.Header.Hash(), block.Header.Hash()}},
 		&GetData{Hashes: []chain.Hash{block.Header.Hash()}},
 		&Block{Block: block},
-		&Addr{Addrs: []string{"10.0.0.1:8333", "[::1]:8334"}},
+		&Addr{Addrs: []NetAddr{{Addr: "10.0.0.1:8333", AgeSec: 0}, {Addr: "[::1]:8334", AgeSec: 120}}},
 		&GetAddr{},
 	}
 }

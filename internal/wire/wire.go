@@ -203,10 +203,10 @@ func (m *Block) encodePayload(buf []byte) ([]byte, error) {
 	return append(buf, enc...), nil
 }
 
-// Addr gossips known listening addresses.
+// Addr gossips known listening addresses with freshness metadata.
 type Addr struct {
-	// Addrs are "host:port" strings.
-	Addrs []string
+	// Addrs are the gossiped addresses with their claimed ages.
+	Addrs []NetAddr
 }
 
 // Type implements Message.
@@ -218,10 +218,11 @@ func (m *Addr) encodePayload(buf []byte) ([]byte, error) {
 	}
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Addrs)))
 	for _, a := range m.Addrs {
-		if len(a) > MaxAddrLen {
-			return nil, fmt.Errorf("%w: address %d bytes", ErrTooLarge, len(a))
+		if len(a.Addr) > MaxAddrLen {
+			return nil, fmt.Errorf("%w: address %d bytes", ErrTooLarge, len(a.Addr))
 		}
-		buf = appendString(buf, a)
+		buf = appendString(buf, a.Addr)
+		buf = binary.LittleEndian.AppendUint32(buf, a.AgeSec)
 	}
 	return buf, nil
 }
@@ -338,7 +339,9 @@ func decodePayload(t MsgType, p []byte) (Message, error) {
 			return nil, fmt.Errorf("%w: %d addresses", ErrTooLarge, count)
 		}
 		for i := uint32(0); i < count && d.err == nil; i++ {
-			a.Addrs = append(a.Addrs, d.str())
+			na := NetAddr{Addr: d.str()}
+			na.AgeSec = d.uint32()
+			a.Addrs = append(a.Addrs, na)
 		}
 		m = a
 	case MsgGetAddr:

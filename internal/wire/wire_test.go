@@ -84,10 +84,48 @@ func TestBlockRoundTrip(t *testing.T) {
 }
 
 func TestAddrRoundTrip(t *testing.T) {
-	in := &Addr{Addrs: []string{"1.2.3.4:8333", "[::1]:9000", ""}}
+	in := &Addr{Addrs: []NetAddr{
+		{Addr: "1.2.3.4:8333", AgeSec: 0},
+		{Addr: "[::1]:9000", AgeSec: 3600},
+		{Addr: "", AgeSec: 4294967295},
+	}}
 	got := roundTrip(t, in).(*Addr)
-	if len(got.Addrs) != 3 || got.Addrs[0] != in.Addrs[0] || got.Addrs[1] != in.Addrs[1] || got.Addrs[2] != "" {
+	if len(got.Addrs) != 3 || got.Addrs[0] != in.Addrs[0] || got.Addrs[1] != in.Addrs[1] || got.Addrs[2] != in.Addrs[2] {
 		t.Fatalf("addrs corrupted: %v", got.Addrs)
+	}
+}
+
+func TestValidateAddr(t *testing.T) {
+	valid := []string{
+		"1.2.3.4:8333", "[::1]:9000", "127.0.0.1:1", "10.0.0.1:65535",
+		"example.com:8333", "a.b-c.d:80", "localhost:9000",
+	}
+	for _, s := range valid {
+		if err := ValidateAddr(s); err != nil {
+			t.Errorf("ValidateAddr(%q) = %v, want nil", s, err)
+		}
+	}
+	invalid := []string{
+		"",                   // empty
+		"1.2.3.4",            // no port
+		"1.2.3.4:",           // empty port
+		"1.2.3.4:0",          // port zero
+		"1.2.3.4:65536",      // port overflow
+		"1.2.3.4:http",       // non-numeric port
+		":8333",              // empty host
+		"host_name:8333",     // underscore in label
+		"-dash.example:8333", // label starts with hyphen
+		"dash-.example:8333", // label ends with hyphen
+		"a..b:8333",          // empty label
+		"bad host:8333",      // space in host
+		string(make([]byte, MaxAddrLen+1)) + ":1", // oversized
+	}
+	for _, s := range invalid {
+		if err := ValidateAddr(s); err == nil {
+			t.Errorf("ValidateAddr(%q) = nil, want error", s)
+		} else if !errors.Is(err, ErrBadAddr) {
+			t.Errorf("ValidateAddr(%q) = %v, want ErrBadAddr", s, err)
+		}
 	}
 }
 
@@ -123,7 +161,7 @@ func TestOversizeRejected(t *testing.T) {
 	if err := Write(&buf, &Inv{Hashes: tooMany}); !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("encode oversize inv: %v", err)
 	}
-	addrs := make([]string, MaxAddrs+1)
+	addrs := make([]NetAddr, MaxAddrs+1)
 	if err := Write(&buf, &Addr{Addrs: addrs}); !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("encode oversize addr: %v", err)
 	}

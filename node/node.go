@@ -145,6 +145,13 @@ func New(opts ...Option) (*Node, error) {
 		AddrBookPath:     s.bookPath,
 		ReadIdleTimeout:  s.idleTimeout,
 		RedialInterval:   s.redialEvery,
+		ObservationCap:   s.obsCap,
+		Discovery: p2p.DiscoveryConfig{
+			RefreshInterval: s.refreshEvery,
+			TargetKnown:     s.targetKnown,
+			FeelerInterval:  s.feelerEvery,
+			AnnounceFanout:  s.announceFanout,
+		},
 		Book: p2p.BookConfig{
 			Cap:          s.bookCap,
 			BanThreshold: s.banThreshold,
@@ -275,6 +282,19 @@ type ResilienceStats = p2p.ResilienceStats
 
 // Resilience returns a snapshot of the node's defensive-action counters.
 func (n *Node) Resilience() ResilienceStats { return n.p.Resilience() }
+
+// DiscoveryStats counts the node's addr-gossip activity: self-announces,
+// trickle relays, refresh requests, addresses learned and rejected,
+// throttled GETADDRs, and feeler verifications.
+type DiscoveryStats = p2p.DiscoveryStats
+
+// Discovery returns a snapshot of the node's addr-gossip counters.
+func (n *Node) Discovery() DiscoveryStats { return n.p.Discovery() }
+
+// VerifiedAddresses returns how many book entries are dial-verified —
+// addresses the node has successfully connected to at least once, as
+// opposed to unconfirmed gossip rumor.
+func (n *Node) VerifiedAddresses() int { return n.p.Book().VerifiedCount() }
 
 // BannedPeers lists the node IDs currently banned for misbehavior.
 func (n *Node) BannedPeers() []uint64 { return n.p.Book().BannedIDs() }

@@ -50,6 +50,12 @@ type settings struct {
 	dialBudget   int
 	idleTimeout  time.Duration
 	redialEvery  time.Duration
+
+	refreshEvery   time.Duration
+	targetKnown    int
+	feelerEvery    time.Duration
+	announceFanout int
+	obsCap         int
 }
 
 func defaultSettings() *settings {
@@ -388,6 +394,72 @@ func WithRedialInterval(d time.Duration) Option {
 			return fmt.Errorf("node: redial interval %v must be positive", d)
 		}
 		s.redialEvery = d
+		return nil
+	}
+}
+
+// WithDiscovery turns on active addr-gossip peer discovery: every refresh
+// interval the node asks a couple of random peers for addresses (GETADDR)
+// until the book holds targetKnown entries, so a node given a single seed
+// address bootstraps the rest of the network on its own. Pass targetKnown
+// 0 for the default book target (128). Passive discovery — answering
+// GETADDR with rate-limited random samples, validating and admitting
+// gossiped addresses, announcing the node's own address on connect — is
+// always on and needs no option.
+func WithDiscovery(refresh time.Duration, targetKnown int) Option {
+	return func(s *settings) error {
+		if refresh <= 0 {
+			return fmt.Errorf("node: discovery refresh interval %v must be positive", refresh)
+		}
+		if targetKnown < 0 {
+			return fmt.Errorf("node: discovery target %d must be non-negative", targetKnown)
+		}
+		s.refreshEvery = refresh
+		s.targetKnown = targetKnown
+		return nil
+	}
+}
+
+// WithFeelerInterval runs feeler connections: every interval the node
+// dials one never-verified address from its book, completes the
+// handshake, and disconnects — promoting the entry to dial-verified (or
+// evicting it via the failure budget if it was fabricated). Verified
+// entries are never displaced by unverified rumor, so feelers keep the
+// book anchored in addresses known to be real. The default runs no
+// feelers.
+func WithFeelerInterval(d time.Duration) Option {
+	return func(s *settings) error {
+		if d <= 0 {
+			return fmt.Errorf("node: feeler interval %v must be positive", d)
+		}
+		s.feelerEvery = d
+		return nil
+	}
+}
+
+// WithAddrAnnounce sets how many random peers each freshly learned
+// address is relayed to (Bitcoin-style addr trickle, default 2). Higher
+// fanout spreads addresses faster at the cost of more gossip traffic.
+func WithAddrAnnounce(fanout int) Option {
+	return func(s *settings) error {
+		if fanout <= 0 {
+			return fmt.Errorf("node: announce fanout %d must be positive", fanout)
+		}
+		s.announceFanout = fanout
+		return nil
+	}
+}
+
+// WithObservationCap bounds the block-observation bookkeeping (arrival
+// timestamps, request dedup) independently of Perigee rounds, so a node
+// that never rounds — a client-only observer — holds memory proportional
+// to the cap rather than to uptime (default 4096).
+func WithObservationCap(n int) Option {
+	return func(s *settings) error {
+		if n <= 0 {
+			return fmt.Errorf("node: observation cap %d must be positive", n)
+		}
+		s.obsCap = n
 		return nil
 	}
 }
